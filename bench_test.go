@@ -1,0 +1,177 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates its experiment at a
+// reduced-but-representative configuration; `go run ./cmd/powifi-bench
+// -full <id>` reproduces the paper-scale version and prints the rows.
+package powifi_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/experiments"
+	"repro/internal/harvester"
+	"repro/internal/phy"
+	"repro/internal/stats"
+)
+
+// BenchmarkFig1RectifierTrace regenerates the §2/Fig. 1 rectifier-voltage
+// trace under a conventional router's bursty traffic.
+func BenchmarkFig1RectifierTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig1(0.40, 2*time.Millisecond)
+		if res.BootsWithin24h {
+			b.Fatal("Fig. 1 scenario must not boot")
+		}
+	}
+}
+
+// BenchmarkFig5OccupancyVsDelay regenerates one point of the Fig. 5
+// injector parameter study.
+func BenchmarkFig5OccupancyVsDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig5([]int{100}, []int{5}, 500*time.Millisecond, 5)
+		if res.OccupancyPct[0][0] <= 0 {
+			b.Fatal("no occupancy measured")
+		}
+	}
+}
+
+// BenchmarkFig6aUDPThroughput regenerates one column of the Fig. 6a UDP
+// comparison (all four schemes at a 20 Mbps target).
+func BenchmarkFig6aUDPThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig6a([]float64{20}, time.Second, 11)
+	}
+}
+
+// BenchmarkFig6bTCPThroughput regenerates one run of the Fig. 6b TCP CDF
+// comparison.
+func BenchmarkFig6bTCPThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig6b(1, time.Second, 13)
+	}
+}
+
+// BenchmarkFig6cPageLoadTime regenerates a single-load Fig. 6c PLT sweep
+// over all ten sites and four schemes.
+func BenchmarkFig6cPageLoadTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig6c(1, 17)
+	}
+}
+
+// BenchmarkFig7OccupancyCDFs regenerates the Fig. 7 occupancy CDFs for
+// the three workload types under PoWiFi.
+func BenchmarkFig7OccupancyCDFs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig7Occupancies(time.Second, 11)
+	}
+}
+
+// BenchmarkFig8NeighborFairness regenerates the Fig. 8 fairness study at
+// two neighbor bit rates.
+func BenchmarkFig8NeighborFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig8([]phy.Rate{phy.Rate6Mbps, phy.Rate54Mbps}, 500*time.Millisecond, 23)
+	}
+}
+
+// BenchmarkFig9ReturnLoss regenerates the Fig. 9 S11 sweeps for both
+// harvesters.
+func BenchmarkFig9ReturnLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig9(8e6)
+		if res.WorstInBand(res.BatteryFree) > -10 {
+			b.Fatal("battery-free harvester out of spec")
+		}
+	}
+}
+
+// BenchmarkFig10HarvesterOutput regenerates the Fig. 10 output-power
+// sweeps for both harvesters.
+func BenchmarkFig10HarvesterOutput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig10(harvester.BatteryFree, 6)
+		experiments.RunFig10(harvester.BatteryCharging, 6)
+	}
+}
+
+// BenchmarkFig11TempSensorRate regenerates the Fig. 11 update-rate-versus-
+// distance curves, including the range searches.
+func BenchmarkFig11TempSensorRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig11([]float64{5, 10, 15, 20, 25})
+		if res.RechargingRangeFt <= res.BatteryFreeRangeFt {
+			b.Fatal("range ordering violated")
+		}
+	}
+}
+
+// BenchmarkFig12CameraInterFrame regenerates the Fig. 12 camera curves.
+func BenchmarkFig12CameraInterFrame(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig12([]float64{5, 10, 15, 17})
+	}
+}
+
+// BenchmarkFig13ThroughWall regenerates the Fig. 13 through-the-wall
+// sweep.
+func BenchmarkFig13ThroughWall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig13()
+		if res.InterFrame[len(res.InterFrame)-1] <= res.InterFrame[0] {
+			b.Fatal("wall ordering violated")
+		}
+	}
+}
+
+// BenchmarkFig14HomeOccupancy regenerates a coarse-grained version of one
+// home's 24-hour occupancy log.
+func BenchmarkFig14HomeOccupancy(b *testing.B) {
+	opts := deploy.Options{
+		BinWidth: 2 * time.Hour, Window: 250 * time.Millisecond,
+		Hours: 24, SensorDistanceFt: 10,
+	}
+	for i := 0; i < b.N; i++ {
+		res := deploy.Run(deploy.PaperHomes()[1], opts)
+		if res.MeanCumulative() <= 0 {
+			b.Fatal("no occupancy logged")
+		}
+	}
+}
+
+// BenchmarkFig15HomeSensorCDF regenerates one home's sensor-rate CDF.
+func BenchmarkFig15HomeSensorCDF(b *testing.B) {
+	opts := deploy.Options{
+		BinWidth: 2 * time.Hour, Window: 250 * time.Millisecond,
+		Hours: 24, SensorDistanceFt: 10,
+	}
+	for i := 0; i < b.N; i++ {
+		res := deploy.Run(deploy.PaperHomes()[2], opts)
+		cdf := stats.NewCDF(res.SensorRates)
+		if cdf.Quantile(0.5) <= 0 {
+			b.Fatal("sensor silent in deployment")
+		}
+	}
+}
+
+// BenchmarkTable1HomeSummary regenerates the Table 1 roster.
+func BenchmarkTable1HomeSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable1()
+		if len(res.Homes) != 6 {
+			b.Fatal("wrong home count")
+		}
+	}
+}
+
+// BenchmarkFig16USBCharger regenerates the §8(a) Jawbone charging run.
+func BenchmarkFig16USBCharger(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig16(6, 150*time.Minute)
+		if res.EndSoC <= res.StartSoC {
+			b.Fatal("battery did not charge")
+		}
+	}
+}

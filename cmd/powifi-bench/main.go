@@ -1,0 +1,42 @@
+// Command powifi-bench regenerates the paper's tables and figures from the
+// simulator. Run with no arguments to list experiments; pass experiment
+// ids (fig1, fig5, fig6a, ..., table1) or "all". The -full flag switches
+// from the quick configuration to the paper-scale one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper-scale configuration (slower)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-full] <experiment id>... | all\n\nexperiments:\n", os.Args[0])
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(os.Stderr, "  %-7s %s\n", id, experiments.Describe(id))
+		}
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if !experiments.Run(id, os.Stdout, !*full) {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

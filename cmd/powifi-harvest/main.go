@@ -1,0 +1,84 @@
+// Command powifi-harvest characterizes the harvester hardware models: the
+// return-loss sweep of Fig. 9, the output-power sweep of Fig. 10, the
+// sensitivity search of §4.2, and a distance sweep combining them with the
+// PoWiFi link budget.
+//
+// Example:
+//
+//	powifi-harvest -version battery-free -sweep power
+//	powifi-harvest -version battery-recharging -sweep distance -occupancy 0.913
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harvester"
+	"repro/internal/phy"
+	"repro/internal/units"
+)
+
+func main() {
+	versionFlag := flag.String("version", "battery-free", "battery-free|battery-recharging")
+	sweep := flag.String("sweep", "power", "power|returnloss|distance")
+	occupancy := flag.Float64("occupancy", 0.913, "cumulative channel occupancy for the distance sweep")
+	flag.Parse()
+
+	var h *harvester.Harvester
+	switch strings.ToLower(*versionFlag) {
+	case "battery-free":
+		h = harvester.NewBatteryFree()
+	case "battery-recharging", "battery-charging":
+		h = harvester.NewBatteryCharging()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown version %q\n", *versionFlag)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s harvester, sensitivity %.1f dBm at channel 6\n\n",
+		h.Version, h.SensitivityDBm(phy.Channel6.FreqHz()))
+
+	switch *sweep {
+	case "power":
+		fmt.Println("input_dBm  accepted_uW  v_rect  rect_out_uW  harvested_uW")
+		for dbm := -20.0; dbm <= 4.01; dbm += 2 {
+			op := h.OperatingPoint(units.DBmToWatts(dbm), phy.Channel6.FreqHz())
+			fmt.Printf("%9.0f  %11.1f  %6.3f  %11.1f  %12.1f\n",
+				dbm, units.Microwatts(op.AcceptedW), op.VRect,
+				units.Microwatts(op.RectDCW), units.Microwatts(op.HarvestedW))
+		}
+	case "returnloss":
+		fmt.Println("freq_GHz  return_loss_dB")
+		for f := 2.400e9; f <= 2.480e9; f += 2e6 {
+			fmt.Printf("%8.4f  %14.2f\n", f/1e9, h.ReturnLossDB(f))
+		}
+	case "distance":
+		fmt.Printf("distance sweep at %.1f%% cumulative occupancy\n", *occupancy*100)
+		fmt.Println("dist_ft  incident_dBm  harvested_uW  temp_rate  camera_interframe")
+		temp := core.NewBatteryFreeTempSensor()
+		cam := core.NewBatteryFreeCamera()
+		if h.Version == harvester.BatteryCharging {
+			temp = core.NewRechargingTempSensor()
+			cam = core.NewRechargingCamera()
+		}
+		for d := 2.0; d <= 30; d += 2 {
+			link := core.PoWiFiLink(d, *occupancy)
+			chans, occ := link.FullChannelPowers()
+			op := h.BurstyOperating(chans, occ)
+			ift := "out of range"
+			if t := cam.InterFrameTime(link); t < 24*time.Hour {
+				ift = fmt.Sprintf("%.1f min", t.Minutes())
+			}
+			fmt.Printf("%7.0f  %12.1f  %12.2f  %9.2f  %s\n",
+				d, units.WattsToDBm(link.TotalIncidentW()),
+				units.Microwatts(op.HarvestedW), temp.UpdateRate(link), ift)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+}

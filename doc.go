@@ -1,0 +1,46 @@
+// Package powifi is a simulation-based reproduction of "Powering the Next
+// Billion Devices with Wi-Fi" (Talla, Kellogg, Ransford, Naderiparizi,
+// Gollakota, Smith — CoNEXT 2015): the PoWiFi system that delivers far-field
+// wireless power from commodity Wi-Fi routers without compromising network
+// performance.
+//
+// The implementation lives under internal/: an 802.11 DCF simulator
+// (internal/mac, internal/medium, internal/phy), the PoWiFi router with its
+// power-packet injector and IP_Power queue-threshold machinery
+// (internal/router), a transport stack (internal/netstack), RF propagation
+// and circuit models (internal/rf, internal/diode), the multi-channel
+// harvester with its DC-DC converters and storage elements
+// (internal/harvester), the sensing applications (internal/sensors), the
+// co-design facade (internal/core), the six-home deployment study
+// (internal/deploy), and one runner per paper table/figure
+// (internal/experiments).
+//
+// Entry points:
+//
+//	cmd/powifi-bench    regenerate any table or figure
+//	cmd/powifi-router   standalone router/occupancy exploration
+//	cmd/powifi-harvest  harvester characterization sweeps
+//	examples/           five runnable scenarios
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package powifi
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// Version identifies this reproduction build.
+const Version = "1.0.0"
+
+// Experiments returns the ids of every reproducible table and figure.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one table or figure, writing its rows to w.
+// quick selects the reduced configuration; the false (full) configuration
+// reproduces the paper's scale. It returns false for unknown ids.
+func RunExperiment(id string, w io.Writer, quick bool) bool {
+	return experiments.Run(id, w, quick)
+}

@@ -1,0 +1,53 @@
+// Batterycharge: recharge real batteries from Wi-Fi, as in §5 and §8(a).
+//
+// Three scenarios: the NiMH pack behind the battery-recharging
+// temperature sensor, the Li-Ion coin cell behind the recharging camera,
+// and the Jawbone UP24 activity tracker sitting next to the router on the
+// USB charger.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/harvester"
+)
+
+func main() {
+	const occupancy = 0.913
+
+	// NiMH pack on the recharging temperature sensor at 10 feet.
+	temp := core.NewRechargingTempSensor()
+	link := core.PoWiFiLink(10, occupancy)
+	net := temp.NetHarvestedW(link)
+	fmt.Printf("NiMH 2xAAA pack at 10 ft: net %.1f µW while idle\n", net*1e6)
+	day := core.BatteryChargeTime(temp.Battery, 0.50, 0.51, net)
+	fmt.Printf("  topping up 1%% of the pack takes %.1f days\n", day.Hours()/24)
+	fmt.Printf("  -> at 10 ft the pack sustains %.2f reads/s forever (energy-neutral)\n\n",
+		temp.UpdateRate(link))
+
+	// Li-Ion coin cell on the recharging camera at 15 feet.
+	cam := core.NewRechargingCamera()
+	camLink := core.PoWiFiLink(15, 0.909)
+	camNet := cam.NetHarvestedW(camLink)
+	fmt.Printf("Li-Ion MS412FE coin cell at 15 ft: net %.1f µW\n", camNet*1e6)
+	full := core.BatteryChargeTime(cam.Battery, 0, 1, camNet)
+	fmt.Printf("  charging the 1 mAh cell from empty takes %.1f hours\n", full.Hours())
+	fmt.Printf("  -> one photo every %.1f min, energy-neutral\n\n",
+		cam.InterFrameTime(camLink).Minutes())
+
+	// Jawbone UP24 on the USB charger, 6 cm from the router (§8a).
+	res := experiments.RunFig16(6, 150*time.Minute)
+	fmt.Printf("Jawbone UP24 on the USB charger (6 cm):\n")
+	fmt.Printf("  average charge current %.2f mA (paper: 2.3 mA)\n", res.ChargeCurrentMA)
+	fmt.Printf("  %.0f%% -> %.0f%% charged in %v (paper: 0%% -> 41%% in 2.5 h)\n",
+		res.StartSoC*100, res.EndSoC*100, res.Duration)
+
+	// Show the battery abstraction directly.
+	pack := harvester.NewNiMHPack()
+	pack.SetSoC(0.25)
+	fmt.Printf("\nbattery state: %v (%.0f J stored of %.0f J)\n",
+		pack, pack.StoredEnergy(), pack.CapacityJ)
+}

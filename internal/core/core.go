@@ -1,0 +1,228 @@
+// Package core is the PoWiFi system facade: it couples the router's
+// multi-channel power transmissions (internal/router) to the harvesting
+// hardware (internal/harvester) and the sensing applications
+// (internal/sensors) — the co-design that is the paper's central
+// contribution.
+//
+// The key abstraction is the PowerLink: the time-averaged RF power a
+// device receives on each Wi-Fi channel, determined by the router's
+// transmit power, the per-channel occupancy its injectors achieve, the
+// distance, and any wall in between. Because the harvester cannot tell
+// power packets from client traffic or beacons (§3), occupancy fractions
+// are all it takes to turn a protocol-level simulation into incident
+// power.
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/harvester"
+	"repro/internal/phy"
+	"repro/internal/rf"
+	"repro/internal/sensors"
+	"repro/internal/units"
+)
+
+// PowerLink describes the RF power delivery path from a PoWiFi router to
+// one harvesting device.
+type PowerLink struct {
+	// TxPowerDBm is the router's per-chain transmit power (30 dBm).
+	TxPowerDBm float64
+	// TxGainDBi is the router's antenna gain (6 dBi).
+	TxGainDBi float64
+	// RxGainDBi is the harvester's antenna gain (2 dBi, §2).
+	RxGainDBi float64
+	// DistanceFt separates router and device, in feet.
+	DistanceFt float64
+	// Wall, if any, sits between them (Fig. 13).
+	Wall rf.WallMaterial
+	// Occupancy maps each channel to the fraction of airtime the router's
+	// transmissions occupy on it.
+	Occupancy map[phy.Channel]float64
+	// PathLoss selects the propagation model (free space by default).
+	PathLoss rf.PathLossModel
+}
+
+// PoWiFiLink returns the standard benchmark link: the prototype router
+// (30 dBm, 6 dBi) at the given distance with the given cumulative
+// occupancy spread evenly over channels 1, 6 and 11.
+func PoWiFiLink(distanceFt, cumulativeOccupancy float64) PowerLink {
+	per := cumulativeOccupancy / 3
+	return PowerLink{
+		TxPowerDBm: 30,
+		TxGainDBi:  6,
+		RxGainDBi:  2,
+		DistanceFt: distanceFt,
+		Occupancy: map[phy.Channel]float64{
+			phy.Channel1:  per,
+			phy.Channel6:  per,
+			phy.Channel11: per,
+		},
+	}
+}
+
+// FullChannelPowers returns the full (packet-burst) incident power per
+// channel at the device, paired with the per-channel occupancy fractions.
+func (l PowerLink) FullChannelPowers() (chans []harvester.ChannelPower, occ []float64) {
+	for _, chNum := range phy.PoWiFiChannels {
+		o, exists := l.Occupancy[chNum]
+		if !exists || o <= 0 {
+			continue
+		}
+		if o > 1 {
+			o = 1 // a single channel cannot be more than fully occupied
+		}
+		link := rf.Link{
+			TxPowerDBm: l.TxPowerDBm,
+			TxAntenna:  rf.Antenna{GainDBi: l.TxGainDBi},
+			RxAntenna:  rf.Antenna{GainDBi: l.RxGainDBi},
+			DistanceM:  units.FeetToMeters(l.DistanceFt),
+			Wall:       l.Wall,
+			Model:      l.PathLoss,
+		}
+		chans = append(chans, harvester.ChannelPower{
+			FreqHz: chNum.FreqHz(),
+			PowerW: link.ReceivedPowerW(chNum.FreqHz()),
+		})
+		occ = append(occ, o)
+	}
+	return chans, occ
+}
+
+// ChannelPowers returns the time-averaged incident power per channel at
+// the device.
+func (l PowerLink) ChannelPowers() []harvester.ChannelPower {
+	chans, occ := l.FullChannelPowers()
+	for i := range chans {
+		chans[i].PowerW *= occ[i]
+	}
+	return chans
+}
+
+// TotalIncidentW returns the summed time-averaged incident power.
+func (l PowerLink) TotalIncidentW() float64 {
+	total := 0.0
+	for _, cp := range l.ChannelPowers() {
+		total += cp.PowerW
+	}
+	return total
+}
+
+// TempSensorDevice is a complete Wi-Fi-powered temperature sensor (§5.1).
+type TempSensorDevice struct {
+	Harvester *harvester.Harvester
+	Sensor    *sensors.TemperatureSensor
+	// Battery is the storage for the recharging version (nil for
+	// battery-free).
+	Battery *harvester.Battery
+}
+
+// NewBatteryFreeTempSensor returns the §5.1 battery-free prototype.
+func NewBatteryFreeTempSensor() *TempSensorDevice {
+	return &TempSensorDevice{
+		Harvester: harvester.NewBatteryFree(),
+		Sensor:    sensors.NewTemperatureSensor(),
+	}
+}
+
+// NewRechargingTempSensor returns the §5.1 battery-recharging prototype
+// with its 2×AAA NiMH pack.
+func NewRechargingTempSensor() *TempSensorDevice {
+	return &TempSensorDevice{
+		Harvester: harvester.NewBatteryCharging(),
+		Sensor:    sensors.NewTemperatureSensor(),
+		Battery:   harvester.NewNiMHPack(),
+	}
+}
+
+// NetHarvestedW returns the device's net harvested power over the link,
+// evaluated under bursty packet drive.
+func (d *TempSensorDevice) NetHarvestedW(link PowerLink) float64 {
+	chans, occ := link.FullChannelPowers()
+	return d.Harvester.BurstyOperating(chans, occ).HarvestedW
+}
+
+// UpdateRate returns the sensor's energy-neutral update rate over the
+// link (Fig. 11's y-axis). Battery-free devices additionally require the
+// harvester to clear its cold-start threshold.
+func (d *TempSensorDevice) UpdateRate(link PowerLink) float64 {
+	chans, occ := link.FullChannelPowers()
+	if !d.Harvester.CanBootBursty(chans, occ) {
+		return 0
+	}
+	return d.Sensor.UpdateRate(d.NetHarvestedW(link))
+}
+
+// CameraDevice is a complete Wi-Fi-powered camera (§5.2). Both camera
+// versions use the TI bq25570 chain; the battery-free version stores into
+// the AVX supercapacitor, the recharging version into a Li-Ion coin cell.
+type CameraDevice struct {
+	Harvester *harvester.Harvester
+	Camera    *sensors.Camera
+	// StandbyW is the device's standing drain while banking energy:
+	// converter quiescent plus storage leakage. Calibrated so the
+	// battery-free camera reaches 17 ft and the recharging camera 23 ft
+	// (Fig. 12).
+	StandbyW float64
+	// Battery is set for the recharging version.
+	Battery *harvester.Battery
+}
+
+// NewBatteryFreeCamera returns the §5.2 battery-free prototype
+// (supercapacitor storage).
+func NewBatteryFreeCamera() *CameraDevice {
+	return &CameraDevice{
+		Harvester: harvester.NewBatteryCharging(), // bq25570 chain
+		Camera:    sensors.NewCamera(),
+		StandbyW:  2.2e-6, // buck standby + supercap leakage
+	}
+}
+
+// NewRechargingCamera returns the §5.2 battery-recharging prototype with
+// its 1 mAh Li-Ion coin cell.
+func NewRechargingCamera() *CameraDevice {
+	return &CameraDevice{
+		Harvester: harvester.NewBatteryCharging(),
+		Camera:    sensors.NewCamera(),
+		StandbyW:  0.4e-6, // the battery absorbs charge with less overhead
+		Battery:   harvester.NewLiIonCoinCell(),
+	}
+}
+
+// NetHarvestedW returns net banked power over the link, after standby
+// drain, evaluated under bursty packet drive.
+func (d *CameraDevice) NetHarvestedW(link PowerLink) float64 {
+	chans, occ := link.FullChannelPowers()
+	op := d.Harvester.BurstyOperating(chans, occ)
+	return op.HarvestedW - d.StandbyW
+}
+
+// InterFrameTime returns the time between captures over the link, or +Inf
+// out of range (Fig. 12/13's y-axis).
+func (d *CameraDevice) InterFrameTime(link PowerLink) time.Duration {
+	return d.Camera.InterFrameTime(d.NetHarvestedW(link))
+}
+
+// OperatingRangeFt returns the maximum distance (feet) at which the given
+// predicate holds, searching outward in 0.25 ft steps — how the paper
+// reports sensor ranges.
+func OperatingRangeFt(maxFt float64, operates func(distanceFt float64) bool) float64 {
+	lastGood := 0.0
+	for d := 0.5; d <= maxFt; d += 0.25 {
+		if operates(d) {
+			lastGood = d
+		}
+	}
+	return lastGood
+}
+
+// BatteryChargeTime returns the time to bring a battery from fromSoC to
+// toSoC at the given net charging power, or +Inf if netW <= 0.
+func BatteryChargeTime(b *harvester.Battery, fromSoC, toSoC, netW float64) time.Duration {
+	if netW <= 0 || toSoC <= fromSoC {
+		return time.Duration(math.MaxInt64)
+	}
+	energy := (toSoC - fromSoC) * b.CapacityJ / b.ChargeEff
+	return time.Duration(energy / netW * float64(time.Second))
+}

@@ -1,0 +1,313 @@
+// Package deploy reproduces the six-home deployment study of §6: a PoWiFi
+// router replaces each home's router for 24 hours while the occupants use
+// it normally, with per-channel occupancy logged at 60-second resolution
+// (Fig. 14, Table 1) and a battery-free temperature sensor placed ten feet
+// away (Fig. 15).
+//
+// Running a packet-level simulation for six full days of wall-clock time
+// is wasteful: occupancy at 60 s resolution is statistically stationary
+// within a bin. The runner therefore samples each bin with a short
+// packet-level window (default one simulated second) under that bin's
+// diurnally-modulated client and neighbor load, and carries the measured
+// occupancy into the energy model. DESIGN.md documents this substitution.
+package deploy
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventsim"
+	"repro/internal/mac"
+	"repro/internal/medium"
+	"repro/internal/monitor"
+	"repro/internal/phy"
+	"repro/internal/router"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// HomeConfig describes one deployment home (Table 1).
+type HomeConfig struct {
+	// ID is the home number (1-6).
+	ID int
+	// Users and Devices are the occupants and their Wi-Fi devices.
+	Users, Devices int
+	// NeighborAPs counts other 2.4 GHz routers in range.
+	NeighborAPs int
+	// Weekend marks the two homes staged over a weekend.
+	Weekend bool
+	// StartHour is the local hour the 24 h log begins at (Fig. 14's
+	// x-axes differ per home).
+	StartHour int
+	// Seed drives the home's randomness.
+	Seed uint64
+}
+
+// PaperHomes returns the six homes of Table 1. Homes 1 and 2 were staged
+// over a weekend, the rest on weekdays; start hours follow Fig. 14.
+func PaperHomes() []HomeConfig {
+	return []HomeConfig{
+		{ID: 1, Users: 2, Devices: 6, NeighborAPs: 17, Weekend: true, StartHour: 20, Seed: 101},
+		{ID: 2, Users: 1, Devices: 1, NeighborAPs: 4, Weekend: true, StartHour: 16, Seed: 102},
+		{ID: 3, Users: 3, Devices: 6, NeighborAPs: 10, StartHour: 16, Seed: 103},
+		{ID: 4, Users: 2, Devices: 4, NeighborAPs: 15, StartHour: 20, Seed: 104},
+		{ID: 5, Users: 1, Devices: 2, NeighborAPs: 24, StartHour: 0, Seed: 105},
+		{ID: 6, Users: 3, Devices: 6, NeighborAPs: 16, StartHour: 20, Seed: 106},
+	}
+}
+
+// Options controls the deployment runner's fidelity/cost trade-off.
+type Options struct {
+	// BinWidth is the occupancy logging resolution (60 s in the paper).
+	BinWidth time.Duration
+	// Window is the packet-level sample simulated per bin.
+	Window time.Duration
+	// Hours is the deployment duration (24 in the paper).
+	Hours float64
+	// SensorDistanceFt places the Fig. 15 sensor (10 ft in the paper).
+	SensorDistanceFt float64
+}
+
+// DefaultOptions returns the paper's logging setup with a one-second
+// sampling window per bin.
+func DefaultOptions() Options {
+	return Options{
+		BinWidth:         time.Minute,
+		Window:           time.Second,
+		Hours:            24,
+		SensorDistanceFt: 10,
+	}
+}
+
+// Result is one home's deployment log.
+type Result struct {
+	Home     HomeConfig
+	BinWidth time.Duration
+	// Occupancy holds per-bin router occupancy percentages per channel.
+	Occupancy map[phy.Channel][]float64
+	// Cumulative is the per-bin sum across channels (may exceed 100).
+	Cumulative []float64
+	// SensorRates is the battery-free temperature sensor's per-bin update
+	// rate (reads/s) at the configured distance.
+	SensorRates []float64
+	// HourOfDay maps each bin to its local time.
+	HourOfDay []float64
+}
+
+// MeanCumulative returns the mean cumulative occupancy percentage, the
+// number the paper reports as 78-127% across homes.
+func (r *Result) MeanCumulative() float64 {
+	if len(r.Cumulative) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range r.Cumulative {
+		sum += v
+	}
+	return sum / float64(len(r.Cumulative))
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("home %d: %d bins, mean cumulative occupancy %.1f%%",
+		r.Home.ID, len(r.Cumulative), r.MeanCumulative())
+}
+
+// activity returns the diurnal activity level in [0, 1] for a local hour.
+// Weekday evenings peak after work; weekends spread usage through the day.
+func activity(hour float64, weekend bool) float64 {
+	h := math.Mod(hour, 24)
+	var a float64
+	switch {
+	case h < 6:
+		a = 0.08
+	case h < 8:
+		a = 0.30
+	case h < 17:
+		if weekend {
+			a = 0.55
+		} else {
+			a = 0.25
+		}
+	case h < 19:
+		a = 0.60
+	case h < 23:
+		a = 1.00
+	default:
+		a = 0.40
+	}
+	return a
+}
+
+// Run simulates one home deployment.
+func Run(cfg HomeConfig, opts Options) *Result {
+	if opts.BinWidth == 0 {
+		opts = DefaultOptions()
+	}
+	nBins := int(opts.Hours * float64(time.Hour) / float64(opts.BinWidth))
+	res := &Result{
+		Home:       cfg,
+		BinWidth:   opts.BinWidth,
+		Occupancy:  make(map[phy.Channel][]float64, 3),
+		Cumulative: make([]float64, 0, nBins),
+	}
+	rng := xrand.NewFromLabel(cfg.Seed, "home")
+
+	// Distribute neighbor APs across the three channels. Real 2.4 GHz
+	// neighborhoods cluster unevenly on 1/6/11 (auto channel selection
+	// herds APs), which is what makes Fig. 14's per-channel curves differ
+	// so strongly between homes: draw per-home channel weights with a
+	// cubic skew, then assign APs by weight.
+	weights := [3]float64{}
+	wsum := 0.0
+	for i := range weights {
+		u := rng.Float64()
+		weights[i] = u * u * u
+		wsum += weights[i]
+	}
+	apChannels := make(map[phy.Channel]int, 3)
+	for i := 0; i < cfg.NeighborAPs; i++ {
+		u := rng.Float64() * wsum
+		acc := 0.0
+		for j, w := range weights {
+			acc += w
+			if u < acc {
+				apChannels[phy.PoWiFiChannels[j]]++
+				break
+			}
+		}
+	}
+
+	sensor := core.NewBatteryFreeTempSensor()
+
+	for bin := 0; bin < nBins; bin++ {
+		hour := math.Mod(float64(cfg.StartHour)+float64(bin)*opts.BinWidth.Hours(), 24)
+		act := activity(hour, cfg.Weekend)
+
+		// Per-bin offered loads.
+		clientLoad := (0.02 + 0.45*act) * float64(cfg.Devices) / 6.0
+		if clientLoad > 0.6 {
+			clientLoad = 0.6
+		}
+		neighborLoad := make(map[phy.Channel]float64, 3)
+		// Iterate channels in fixed order so the RNG draws stay
+		// deterministic (map iteration order would not be).
+		for _, chNum := range phy.PoWiFiChannels {
+			n := apChannels[chNum]
+			if n == 0 {
+				continue
+			}
+			// Each neighbor AP idles at ~1% airtime (beacons, chatter) and
+			// climbs toward ~13% when its household is active (streaming
+			// video dominates evening loads).
+			l := float64(n) * (0.012 + 0.120*act) * rng.Uniform(0.4, 1.6)
+			if l > 0.85 {
+				l = 0.85
+			}
+			neighborLoad[chNum] = l
+		}
+
+		occ := sampleBin(cfg, bin, clientLoad, neighborLoad, opts.Window)
+		cum := 0.0
+		for _, chNum := range phy.PoWiFiChannels {
+			pct := occ[chNum] * 100
+			res.Occupancy[chNum] = append(res.Occupancy[chNum], pct)
+			cum += pct
+		}
+		res.Cumulative = append(res.Cumulative, cum)
+		res.HourOfDay = append(res.HourOfDay, hour)
+
+		link := core.PowerLink{
+			TxPowerDBm: 30,
+			TxGainDBi:  6,
+			RxGainDBi:  2,
+			DistanceFt: opts.SensorDistanceFt,
+			Occupancy:  occ,
+		}
+		res.SensorRates = append(res.SensorRates, sensor.UpdateRate(link))
+	}
+	return res
+}
+
+// sampleBin runs one packet-level window and returns the router's
+// per-channel occupancy fractions.
+func sampleBin(cfg HomeConfig, bin int, clientLoad float64, neighborLoad map[phy.Channel]float64, window time.Duration) map[phy.Channel]float64 {
+	sched := eventsim.New()
+	seed := cfg.Seed*1_000_003 + uint64(bin)
+	channels := make(map[phy.Channel]*medium.Channel, 3)
+	for _, chNum := range phy.PoWiFiChannels {
+		channels[chNum] = medium.NewChannel(chNum, sched)
+	}
+	rcfg := router.DefaultConfig()
+	// Consumer home routers run the injectors on a slow MIPS/ARM SoC that
+	// also handles NAT; the user-space refill latency is several times the
+	// benchmark router's, which caps per-channel occupancy near the
+	// 30-45% the paper's Fig. 14 shows.
+	rcfg.UserWakeCost = 450 * time.Microsecond
+	rt := router.New(rcfg, sched, channels, 100, seed)
+
+	monitors := make(map[phy.Channel]*monitor.Monitor, 3)
+	for i, chNum := range phy.PoWiFiChannels {
+		monitors[chNum] = monitor.New(channels[chNum], window, 100+i)
+	}
+
+	// Neighbor load on each channel, spread over several contending
+	// stations: a crowded neighborhood does not just offer more airtime,
+	// it also fields more DCF contenders, each of which wins transmit
+	// opportunities against our router.
+	for i, chNum := range phy.PoWiFiChannels {
+		load := neighborLoad[chNum]
+		if load <= 0 {
+			continue
+		}
+		stations := 1 + int(load/0.2)
+		if stations > 4 {
+			stations = 4
+		}
+		for k := 0; k < stations; k++ {
+			bg := traffic.NewBackground(sched, channels[chNum], 300+10*i+k,
+				medium.Location{X: 8, Y: 6 + float64(k)}, load/float64(stations),
+				xrand.NewFromLabel(seed, fmt.Sprintf("bg/%v/%d", chNum, k)))
+			bg.Start()
+		}
+	}
+
+	// The home's own client traffic rides channel 1 through the router's
+	// fair queue, competing with the injector exactly as §3.2 describes.
+	if clientLoad > 0 {
+		radio := rt.Radio(phy.Channel1).MAC
+		feedClientLoad(sched, radio, clientLoad, xrand.NewFromLabel(seed, "clients"))
+	}
+
+	rt.Start()
+	sched.RunUntil(window)
+
+	occ := make(map[phy.Channel]float64, 3)
+	for chNum, mon := range monitors {
+		occ[chNum] = mon.MeanOccupancy()
+	}
+	return occ
+}
+
+// feedClientLoad generates downlink client traffic at the router: frames
+// enqueued into the client-flow side of the fair queue at a Poisson rate
+// targeting the given airtime fraction.
+func feedClientLoad(sched *eventsim.Scheduler, radio *mac.Station, load float64, rng *xrand.Rand) {
+	frameAir := float64(phy.Airtime(1500+phy.MACOverheadBytes, phy.Rate54Mbps))
+	mean := frameAir / load
+	var schedule func()
+	schedule = func() {
+		sched.After(time.Duration(rng.Exp(mean)), func() {
+			radio.Enqueue(&mac.Frame{
+				DstID:     medium.Broadcast, // home devices in aggregate
+				Bytes:     1500,
+				Kind:      medium.KindData,
+				FixedRate: phy.Rate54Mbps,
+			})
+			schedule()
+		})
+	}
+	schedule()
+}

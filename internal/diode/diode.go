@@ -1,0 +1,275 @@
+// Package diode models the Skyworks SMS7630-061 Schottky diodes and the
+// single-stage voltage-doubler rectifier at the heart of the PoWiFi
+// harvester (§3.1, Fig. 4).
+//
+// The model is the classic cycle-averaged analysis of a diode driven by a
+// sinusoidal carrier: with drive amplitude Va and a DC reverse bias Vd
+// across the diode, the Shockley equation averaged over one RF cycle gives
+//
+//	I_avg  = Is·(exp(-Vd/nVt)·I0(Va/nVt) − 1)          (rectified current)
+//	P_rf   = Va·Is·exp(-Vd/nVt)·I1(Va/nVt)             (RF power absorbed)
+//
+// where I0/I1 are modified Bessel functions. A doubler stacks two diodes so
+// each blocks half the output voltage and both contribute current. These
+// two equations plus a parasitic-loss term (junction capacitance current
+// through the series resistance, which at 2.45 GHz is a µW-scale effect
+// that matters at harvesting power levels) define the full DC operating
+// point, solved by bisection.
+//
+// Everything downstream — the 300 mV cold-start bottleneck of Fig. 1, the
+// sensitivity knees and output-power curves of Fig. 10, and the
+// update-rate-versus-distance results of Figs. 11–13 — emerges from this
+// operating-point solver.
+package diode
+
+import "math"
+
+// ThermalVoltage is kT/q at room temperature in volts.
+const ThermalVoltage = 0.02585
+
+// Diode is a Schottky diode parameter set.
+type Diode struct {
+	// Is is the saturation current in amperes. Low-barrier RF Schottky
+	// diodes like the SMS7630 have a large Is (microamps), which is what
+	// makes them rectify at sub-milliwatt drive.
+	Is float64
+	// N is the ideality factor.
+	N float64
+	// Rs is the series resistance in ohms.
+	Rs float64
+	// Cj is the zero-bias junction capacitance in farads.
+	Cj float64
+	// BreakdownV is the reverse breakdown voltage in volts. In a doubler
+	// the output voltage reverse-stresses the diodes, so the DC output is
+	// clamped near this value; the clamp is what compresses the
+	// high-power end of Fig. 10. Zero means no breakdown modelled.
+	BreakdownV float64
+}
+
+// SMS7630 returns the parameter set for the Skyworks SMS7630-061 used by
+// the paper (SC-79/0201 package): Is = 5 µA, n = 1.05, Rs = 20 Ω,
+// Cj = 0.14 pF, Bv = 2 V, per the Skyworks SPICE model.
+func SMS7630() Diode {
+	return Diode{Is: 5e-6, N: 1.05, Rs: 20, Cj: 0.14e-12, BreakdownV: 2}
+}
+
+// nVt returns the diode's emission coefficient times the thermal voltage.
+func (d Diode) nVt() float64 { return d.N * ThermalVoltage }
+
+// Doubler is a single-stage voltage-doubler rectifier (two diodes, two
+// coupling capacitors) as in Fig. 4. The paper uses high-Q 10 pF UHF
+// capacitors whose loss is negligible next to the diode terms, so the
+// coupling capacitors do not appear explicitly.
+type Doubler struct {
+	Diode Diode
+	// FreqHz is the carrier frequency used for parasitic-loss evaluation.
+	FreqHz float64
+	// PadCj is additional fixed parasitic capacitance (pads, package) in
+	// farads, added to the diodes' junction capacitance when computing
+	// displacement-current loss and the rectifier's input reactance.
+	PadCj float64
+}
+
+// OutputCurrent returns the DC current in amperes the doubler sources into
+// its output node held at vout volts, when driven by a sinusoid of
+// amplitude va volts. Negative results (the load pulling the output above
+// what the drive can sustain) are clamped at the reverse saturation floor.
+func (r Doubler) OutputCurrent(va, vout float64) float64 {
+	nvt := r.Diode.nVt()
+	if va < 0 {
+		va = 0
+	}
+	if vout < 0 {
+		vout = 0
+	}
+	a := va / nvt
+	logTerm := logI0(a) - vout/(2*nvt)
+	return r.Diode.Is * (math.Exp(logTerm) - 1)
+}
+
+// RFPower returns the RF power in watts the doubler absorbs from the
+// matched source at drive amplitude va and output voltage vout, including
+// the conduction term (both diodes) and the parasitic displacement-current
+// loss through the series resistance.
+func (r Doubler) RFPower(va, vout float64) float64 {
+	nvt := r.Diode.nVt()
+	if va <= 0 {
+		return 0
+	}
+	if vout < 0 {
+		vout = 0
+	}
+	a := va / nvt
+	logTerm := logI1(a) - vout/(2*nvt)
+	cond := 2 * va * r.Diode.Is * math.Exp(logTerm)
+	return cond + r.parasiticPower(va)
+}
+
+// parasiticPower returns the displacement-current loss: each junction
+// capacitance conducts i = ωCj·Va through that diode's series resistance on
+// every cycle, dissipating ½·(ωCj·Va)²·Rs per diode. Pad capacitance sits
+// on the board in front of the diodes, so its current does not cross Rs
+// and it contributes only reactance (handled by the matching model).
+func (r Doubler) parasiticPower(va float64) float64 {
+	w := 2 * math.Pi * r.FreqHz
+	i := w * r.Diode.Cj * va
+	return 2 * 0.5 * i * i * r.Diode.Rs
+}
+
+// SolveAmplitude returns the drive amplitude va at which the doubler
+// absorbs exactly pacc watts while its output sits at vout volts. RFPower
+// is strictly increasing in va, so bisection converges. pacc <= 0 returns 0.
+func (r Doubler) SolveAmplitude(pacc, vout float64) float64 {
+	if pacc <= 0 {
+		return 0
+	}
+	lo, hi := 0.0, 0.01
+	for r.RFPower(hi, vout) < pacc {
+		hi *= 2
+		if hi > 100 {
+			break // pathological input power; clamp
+		}
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if r.RFPower(mid, vout) < pacc {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// maxVout returns the breakdown clamp on the doubler's output voltage, or
+// +Inf when breakdown is not modelled.
+func (r Doubler) maxVout() float64 {
+	if r.Diode.BreakdownV <= 0 {
+		return math.Inf(1)
+	}
+	return r.Diode.BreakdownV
+}
+
+// OpenCircuitVoltage returns the steady-state output voltage with no load,
+// i.e. where the rectified current is zero for the given accepted power,
+// clamped at the diode breakdown limit.
+func (r Doubler) OpenCircuitVoltage(pacc float64) float64 {
+	if pacc <= 0 {
+		return 0
+	}
+	nvt := r.Diode.nVt()
+	// At open circuit I_out = 0 ⇒ vout = 2·nVt·ln(I0(va/nVt)); va and
+	// vout are coupled, so iterate to a fixed point.
+	vout := 0.0
+	for i := 0; i < 60; i++ {
+		va := r.SolveAmplitude(pacc, vout)
+		next := 2 * nvt * logI0(va/nvt)
+		if next > r.maxVout() {
+			next = r.maxVout()
+		}
+		if math.Abs(next-vout) < 1e-9 {
+			vout = next
+			break
+		}
+		vout = next
+	}
+	return vout
+}
+
+// OperatingPoint solves the intersection of the rectifier's DC source
+// characteristic with a load characteristic: load(vout) must return the DC
+// current the load draws at output voltage vout and be non-decreasing in
+// vout. It returns the steady-state output voltage and current for an
+// accepted RF power pacc.
+func (r Doubler) OperatingPoint(pacc float64, load func(vout float64) float64) (vout, iout float64) {
+	if pacc <= 0 {
+		return 0, 0
+	}
+	voc := r.OpenCircuitVoltage(pacc)
+	lo, hi := 0.0, voc
+	// Source current minus load current is decreasing in vout; find zero.
+	f := func(v float64) float64 {
+		va := r.SolveAmplitude(pacc, v)
+		return r.OutputCurrent(va, v) - load(v)
+	}
+	if f(0) <= 0 {
+		return 0, 0 // load demands more than short-circuit current
+	}
+	if f(voc) > 0 {
+		// Even at the breakdown clamp the source out-supplies the load:
+		// the output parks at the clamp and the excess dissipates in
+		// reverse breakdown. Delivered current is the load's draw.
+		return voc, load(voc)
+	}
+	for i := 0; i < 70; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	vout = (lo + hi) / 2
+	va := r.SolveAmplitude(pacc, vout)
+	return vout, r.OutputCurrent(va, vout)
+}
+
+// MaxPowerPoint returns the output voltage, current and power at the
+// rectifier's maximum-power operating point for accepted power pacc,
+// located by golden-section search over [0, Voc]. This is the "available
+// power at the rectifier output" the paper measures in Fig. 10.
+func (r Doubler) MaxPowerPoint(pacc float64) (vout, iout, pout float64) {
+	if pacc <= 0 {
+		return 0, 0, 0
+	}
+	voc := r.OpenCircuitVoltage(pacc)
+	p := func(v float64) float64 {
+		va := r.SolveAmplitude(pacc, v)
+		i := r.OutputCurrent(va, v)
+		if i < 0 {
+			return 0
+		}
+		return v * i
+	}
+	const phi = 0.6180339887498949
+	a, b := 0.0, voc
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	for i := 0; i < 60; i++ {
+		if p(c) > p(d) {
+			b = d
+		} else {
+			a = c
+		}
+		c = b - phi*(b-a)
+		d = a + phi*(b-a)
+	}
+	vout = (a + b) / 2
+	va := r.SolveAmplitude(pacc, vout)
+	iout = r.OutputCurrent(va, vout)
+	return vout, iout, vout * iout
+}
+
+// InputResistance returns the equivalent series input resistance of the
+// rectifier at the given accepted power and output voltage, defined by
+// P = Va²/(2R). This feeds the matching-network model: the rectifier's
+// impedance moves with drive level, which is why the paper co-designs the
+// DC–DC converter (whose MPPT pins the operating point) with the matching
+// network.
+func (r Doubler) InputResistance(pacc, vout float64) float64 {
+	if pacc <= 0 {
+		return math.Inf(1)
+	}
+	va := r.SolveAmplitude(pacc, vout)
+	if va <= 0 {
+		return math.Inf(1)
+	}
+	return va * va / (2 * pacc)
+}
+
+// InputCapacitance returns the total effective shunt capacitance of the
+// rectifier input: both junction capacitances appear in series-aiding
+// through the doubler plus the pad parasitics.
+func (r Doubler) InputCapacitance() float64 {
+	return r.Diode.Cj + r.PadCj
+}

@@ -1,0 +1,239 @@
+package diode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+func testDoubler() Doubler {
+	return Doubler{Diode: SMS7630(), FreqHz: 2.437e9, PadCj: 0.6e-12}
+}
+
+func TestLogI0KnownValues(t *testing.T) {
+	// I0(0)=1, I0(1)=1.2661, I0(5)=27.2399, I0(10)=2815.72.
+	cases := []struct{ x, i0 float64 }{
+		{0, 1}, {1, 1.2660658}, {5, 27.239872}, {10, 2815.7166},
+	}
+	for _, c := range cases {
+		got := math.Exp(logI0(c.x))
+		if math.Abs(got-c.i0)/c.i0 > 1e-5 {
+			t.Errorf("I0(%v) = %v, want %v", c.x, got, c.i0)
+		}
+	}
+}
+
+func TestLogI1KnownValues(t *testing.T) {
+	// I1(1)=0.56516, I1(5)=24.3356, I1(10)=2670.99.
+	cases := []struct{ x, i1 float64 }{
+		{1, 0.5651591}, {5, 24.335642}, {10, 2670.9883},
+	}
+	for _, c := range cases {
+		got := math.Exp(logI1(c.x))
+		if math.Abs(got-c.i1)/c.i1 > 1e-5 {
+			t.Errorf("I1(%v) = %v, want %v", c.x, got, c.i1)
+		}
+	}
+}
+
+func TestLogI0LargeArgumentAsymptotic(t *testing.T) {
+	// For large x, ln I0(x) ≈ x - 0.5·ln(2πx).
+	x := 80.0
+	want := x - 0.5*math.Log(2*math.Pi*x)
+	got := logI0(x)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("logI0(80) = %v, want about %v", got, want)
+	}
+}
+
+func TestBesselMonotone(t *testing.T) {
+	prev0, prev1 := math.Inf(-1), math.Inf(-1)
+	for x := 0.01; x < 200; x *= 1.3 {
+		l0, l1 := logI0(x), logI1(x)
+		if l0 < prev0 || l1 < prev1 {
+			t.Fatalf("Bessel logs not monotone at x=%v", x)
+		}
+		prev0, prev1 = l0, l1
+	}
+}
+
+func TestOutputCurrentZeroDrive(t *testing.T) {
+	r := testDoubler()
+	if got := r.OutputCurrent(0, 0); got != 0 {
+		t.Errorf("zero-drive zero-bias current = %v, want 0", got)
+	}
+	// With no drive and positive output voltage the diodes leak backwards.
+	if got := r.OutputCurrent(0, 0.5); got >= 0 {
+		t.Errorf("reverse-biased unlit doubler current = %v, want negative", got)
+	}
+}
+
+func TestOutputCurrentDecreasesWithVout(t *testing.T) {
+	r := testDoubler()
+	va := 0.4
+	prev := math.Inf(1)
+	for v := 0.0; v < 1.0; v += 0.05 {
+		i := r.OutputCurrent(va, v)
+		if i >= prev {
+			t.Fatalf("output current not decreasing at vout=%v", v)
+		}
+		prev = i
+	}
+}
+
+func TestRFPowerIncreasesWithVa(t *testing.T) {
+	r := testDoubler()
+	prev := -1.0
+	for va := 0.0; va < 2; va += 0.05 {
+		p := r.RFPower(va, 0.3)
+		if p <= prev && va > 0 {
+			t.Fatalf("RF power not increasing at va=%v", va)
+		}
+		prev = p
+	}
+}
+
+func TestSolveAmplitudeInvertsRFPower(t *testing.T) {
+	r := testDoubler()
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		pacc := rng.Uniform(1e-7, 3e-3) // -40 dBm .. ~5 dBm
+		vout := rng.Uniform(0, 1)
+		va := r.SolveAmplitude(pacc, vout)
+		back := r.RFPower(va, vout)
+		return math.Abs(back-pacc)/pacc < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenCircuitVoltageGrowsWithPowerUntilBreakdown(t *testing.T) {
+	r := testDoubler()
+	prev := -1.0
+	for _, dbm := range []float64{-25, -20, -15, -10, -5, 0} {
+		v := r.OpenCircuitVoltage(units.DBmToWatts(dbm))
+		if v < prev {
+			t.Fatalf("Voc decreased at %v dBm: %v < %v", dbm, v, prev)
+		}
+		if v > r.Diode.BreakdownV {
+			t.Fatalf("Voc exceeded breakdown clamp at %v dBm: %v", dbm, v)
+		}
+		prev = v
+	}
+	// At strong drive the clamp engages.
+	if v := r.OpenCircuitVoltage(units.DBmToWatts(4)); v != r.Diode.BreakdownV {
+		t.Errorf("Voc at +4 dBm = %v, want clamped at %v", v, r.Diode.BreakdownV)
+	}
+}
+
+func TestOpenCircuitVoltageReasonableMagnitude(t *testing.T) {
+	// At -17.8 dBm accepted (the paper's battery-free sensitivity) the
+	// doubler's open-circuit voltage must comfortably exceed the 300 mV
+	// converter threshold — the loaded voltage is what's marginal.
+	r := testDoubler()
+	v := r.OpenCircuitVoltage(units.DBmToWatts(-17.8))
+	if v < 0.3 || v > 1.5 {
+		t.Errorf("Voc at -17.8 dBm = %v V, want within (0.3, 1.5)", v)
+	}
+}
+
+func TestOperatingPointBalancesLoad(t *testing.T) {
+	r := testDoubler()
+	pacc := units.DBmToWatts(-10)
+	rload := 10e3
+	vout, iout := r.OperatingPoint(pacc, func(v float64) float64 { return v / rload })
+	if vout <= 0 || iout <= 0 {
+		t.Fatalf("degenerate operating point: v=%v i=%v", vout, iout)
+	}
+	if math.Abs(iout-vout/rload)/iout > 1e-3 {
+		t.Errorf("KCL violated at operating point: source %v A, load %v A", iout, vout/rload)
+	}
+}
+
+func TestOperatingPointOverload(t *testing.T) {
+	r := testDoubler()
+	// A microwatt of input cannot sustain a 10 mA load.
+	vout, iout := r.OperatingPoint(1e-6, func(v float64) float64 { return 10e-3 })
+	if vout != 0 || iout != 0 {
+		t.Errorf("overloaded rectifier should collapse to 0, got v=%v i=%v", vout, iout)
+	}
+}
+
+func TestMaxPowerPointBelowAcceptedPower(t *testing.T) {
+	// Conservation: DC output power can never exceed accepted RF power.
+	r := testDoubler()
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		pacc := units.DBmToWatts(rng.Uniform(-25, 5))
+		_, _, pout := r.MaxPowerPoint(pacc)
+		return pout >= 0 && pout <= pacc*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEfficiencyRisesWithInputPower(t *testing.T) {
+	// The defining nonlinearity of Fig. 10: conversion efficiency at the
+	// max-power point improves as input power grows.
+	r := testDoubler()
+	var prev float64
+	for _, dbm := range []float64{-20, -15, -10, -5, 0} {
+		pacc := units.DBmToWatts(dbm)
+		_, _, pout := r.MaxPowerPoint(pacc)
+		eff := pout / pacc
+		if eff <= prev {
+			t.Fatalf("efficiency not rising at %v dBm: %v <= %v", dbm, eff, prev)
+		}
+		prev = eff
+	}
+}
+
+func TestMaxPowerPointMagnitude(t *testing.T) {
+	// The bare rectifier at its maximum-power point converts a healthy
+	// fraction of a strong (+4 dBm) drive but almost nothing at -20 dBm.
+	// (Fig. 10's far lower measured output at high power comes from the
+	// DC-DC converter's pump-current ceiling, modelled in the harvester
+	// package, not from the diodes.)
+	r := testDoubler()
+	_, _, pHigh := r.MaxPowerPoint(units.DBmToWatts(4))
+	if eff := pHigh / units.DBmToWatts(4); eff < 0.2 || eff > 0.8 {
+		t.Errorf("MPP efficiency at +4 dBm = %v, want within (0.2, 0.8)", eff)
+	}
+	_, _, pLow := r.MaxPowerPoint(units.DBmToWatts(-20))
+	if uw := units.Microwatts(pLow); uw > 3 {
+		t.Errorf("output at -20 dBm = %v µW, want < 3", uw)
+	}
+}
+
+func TestInputResistanceFiniteAndPositive(t *testing.T) {
+	r := testDoubler()
+	res := r.InputResistance(units.DBmToWatts(-10), 0.3)
+	if res <= 0 || math.IsInf(res, 0) {
+		t.Errorf("input resistance = %v", res)
+	}
+	if r.InputResistance(0, 0) != math.Inf(1) {
+		t.Error("zero-power input resistance should be +Inf")
+	}
+}
+
+func TestInputCapacitanceSum(t *testing.T) {
+	r := testDoubler()
+	want := r.Diode.Cj + r.PadCj
+	if got := r.InputCapacitance(); got != want {
+		t.Errorf("InputCapacitance = %v, want %v", got, want)
+	}
+}
+
+func TestParasiticLossGrowsWithFrequencySquared(t *testing.T) {
+	lo := Doubler{Diode: SMS7630(), FreqHz: 1e9}
+	hi := Doubler{Diode: SMS7630(), FreqHz: 2e9}
+	pl, ph := lo.parasiticPower(0.3), hi.parasiticPower(0.3)
+	if math.Abs(ph/pl-4) > 1e-9 {
+		t.Errorf("parasitic loss ratio = %v, want 4 (f²)", ph/pl)
+	}
+}

@@ -1,0 +1,249 @@
+package eventsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30*time.Microsecond, func() { order = append(order, 3) })
+	s.At(10*time.Microsecond, func() { order = append(order, 1) })
+	s.At(20*time.Microsecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestTieBreakIsInsertionOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order broken at %d: %v", i, order)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	s := New()
+	var seen time.Duration
+	s.At(42*time.Microsecond, func() { seen = s.Now() })
+	s.Run()
+	if seen != 42*time.Microsecond {
+		t.Errorf("Now inside event = %v, want 42us", seen)
+	}
+	if s.Now() != 42*time.Microsecond {
+		t.Errorf("final Now = %v, want 42us", s.Now())
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.At(100*time.Microsecond, func() {
+		s.After(50*time.Microsecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 150*time.Microsecond {
+		t.Errorf("After fired at %v, want 150us", at)
+	}
+}
+
+func TestPastSchedulingClampsToNow(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.At(100*time.Microsecond, func() {
+		s.At(10*time.Microsecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 100*time.Microsecond {
+		t.Errorf("past event fired at %v, want clamped to 100us", at)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	s := New()
+	ran := false
+	e := s.At(time.Millisecond, func() { ran = true })
+	e.Cancel()
+	s.Run()
+	if ran {
+		t.Error("cancelled event still ran")
+	}
+	if !e.Cancelled() {
+		t.Error("Cancelled() should report true")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	s := New()
+	count := 0
+	e := s.At(time.Millisecond, func() { count++ })
+	s.Run()
+	e.Cancel() // must not panic or change anything
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		d := d * time.Millisecond
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(25 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 25*time.Millisecond {
+		t.Errorf("Now = %v, want exactly the deadline", s.Now())
+	}
+	// Remaining events still run on a later window.
+	s.RunUntil(100 * time.Millisecond)
+	if len(fired) != 4 {
+		t.Errorf("after second window fired = %d, want 4", len(fired))
+	}
+}
+
+func TestStopHaltsLoop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (stopped early)", count)
+	}
+	if s.Pending() != 7 {
+		t.Errorf("pending = %d, want 7", s.Pending())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	var times []time.Duration
+	cancel := s.Ticker(10*time.Microsecond, func() {
+		times = append(times, s.Now())
+	})
+	s.At(35*time.Microsecond, func() { cancel() })
+	s.Run()
+	want := []time.Duration{10 * time.Microsecond, 20 * time.Microsecond, 30 * time.Microsecond}
+	if len(times) != len(want) {
+		t.Fatalf("ticker fired %d times (%v), want %d", len(times), times, len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestTickerCancelInsideCallback(t *testing.T) {
+	s := New()
+	count := 0
+	var cancel func()
+	cancel = s.Ticker(time.Microsecond, func() {
+		count++
+		if count == 5 {
+			cancel()
+		}
+	})
+	s.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+}
+
+func TestTickerPanicsOnNonPositiveInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New().Ticker(0, func() {})
+}
+
+// Property: with random schedule times, events always execute in
+// non-decreasing time order and Now never goes backwards.
+func TestMonotonicTimeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := New()
+		var last time.Duration = -1
+		ok := true
+		for i := 0; i < 200; i++ {
+			d := time.Duration(r.Intn(1000)) * time.Microsecond
+			s.At(d, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+				// Nested random scheduling.
+				if r.Bool(0.3) {
+					s.After(time.Duration(r.Intn(100))*time.Microsecond, func() {
+						if s.Now() < last {
+							ok = false
+						}
+						last = s.Now()
+					})
+				}
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []time.Duration {
+		r := xrand.New(99)
+		s := New()
+		var log []time.Duration
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			log = append(log, s.Now())
+			if depth < 3 {
+				n := r.Intn(3)
+				for i := 0; i < n; i++ {
+					s.After(time.Duration(r.Intn(50))*time.Microsecond, func() { spawn(depth + 1) })
+				}
+			}
+		}
+		for i := 0; i < 20; i++ {
+			s.At(time.Duration(r.Intn(500))*time.Microsecond, func() { spawn(0) })
+		}
+		s.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§2, §4, §5, §6, §8). Each runner builds its workload
+// from the simulator substrates, returns a structured result, and can
+// print the same rows/series the paper reports. EXPERIMENTS.md records
+// paper-versus-measured values for every entry.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one experiment. quick selects a reduced configuration
+// (fewer repetitions / shorter runs) suitable for tests and default
+// benchmarks; the full configuration reproduces the paper's scale.
+type Runner func(w io.Writer, quick bool)
+
+// registry maps experiment ids (fig1, fig5, ..., table1) to runners.
+var registry = map[string]Runner{}
+
+// descriptions holds one-line summaries for the CLI.
+var descriptions = map[string]string{}
+
+// register adds an experiment to the registry (called from init funcs).
+func register(id, desc string, r Runner) {
+	registry[id] = r
+	descriptions[id] = desc
+}
+
+// IDs returns the registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) string { return descriptions[id] }
+
+// Run executes the experiment with the given id, writing its table to w.
+// It returns false for unknown ids.
+func Run(id string, w io.Writer, quick bool) bool {
+	r, exists := registry[id]
+	if !exists {
+		return false
+	}
+	r(w, quick)
+	return true
+}
+
+// header prints a standard experiment banner.
+func header(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "== %s: %s ==\n", id, title)
+}

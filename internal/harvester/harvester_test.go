@@ -1,0 +1,521 @@
+package harvester
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+const (
+	ch1  = 2.412e9
+	ch6  = 2.437e9
+	ch11 = 2.462e9
+)
+
+func TestBatteryFreeSensitivityMatchesPaper(t *testing.T) {
+	// §4.2: the battery-free harvester operates down to -17.8 dBm.
+	h := NewBatteryFree()
+	got := h.SensitivityDBm(ch6)
+	if got < -18.5 || got > -17.0 {
+		t.Errorf("battery-free sensitivity = %.2f dBm, want about -17.8", got)
+	}
+}
+
+func TestBatteryChargingSensitivityMatchesPaper(t *testing.T) {
+	// §4.2: the battery-charging harvester operates down to -19.3 dBm —
+	// better than battery-free because there is no cold-start problem.
+	h := NewBatteryCharging()
+	got := h.SensitivityDBm(ch6)
+	if got < -20.0 || got > -18.5 {
+		t.Errorf("battery-charging sensitivity = %.2f dBm, want about -19.3", got)
+	}
+}
+
+func TestChargingBeatsBatteryFreeSensitivity(t *testing.T) {
+	bf := NewBatteryFree().SensitivityDBm(ch6)
+	bc := NewBatteryCharging().SensitivityDBm(ch6)
+	if bc >= bf {
+		t.Errorf("battery-charging sensitivity (%v) should beat battery-free (%v)", bc, bf)
+	}
+}
+
+func TestReturnLossInBand(t *testing.T) {
+	// Fig. 9: both harvesters achieve < -10 dB return loss across
+	// 2.401-2.473 GHz.
+	for _, h := range []*Harvester{NewBatteryFree(), NewBatteryCharging()} {
+		for f := 2.401e9; f <= 2.4735e9; f += 3e6 {
+			rl := h.ReturnLossDB(f)
+			if rl > -10 {
+				t.Errorf("%v return loss at %.4f GHz = %.2f dB, want < -10", h.Version, f/1e9, rl)
+			}
+		}
+	}
+}
+
+func TestReturnLossHasInBandDip(t *testing.T) {
+	// Fig. 9a shows a deep resonance dip (about -32 dB) inside the band
+	// for the battery-free version.
+	h := NewBatteryFree()
+	best := 0.0
+	for f := 2.401e9; f <= 2.4735e9; f += 2e6 {
+		if rl := h.ReturnLossDB(f); rl < best {
+			best = rl
+		}
+	}
+	if best > -25 {
+		t.Errorf("deepest in-band return loss = %.2f dB, want < -25 (resonance dip)", best)
+	}
+}
+
+func TestFig10OutputMonotoneInInputPower(t *testing.T) {
+	for _, h := range []*Harvester{NewBatteryFree(), NewBatteryCharging()} {
+		prev := -1.0
+		for dbm := -20.0; dbm <= 4.0; dbm += 2 {
+			op := h.OperatingPoint(units.DBmToWatts(dbm), ch6)
+			if op.RectDCW < prev-1e-12 {
+				t.Errorf("%v: output power decreased at %v dBm", h.Version, dbm)
+			}
+			prev = op.RectDCW
+		}
+	}
+}
+
+func TestFig10OutputMagnitude(t *testing.T) {
+	// Fig. 10: output on the order of 150 µW at the top of the sweep and
+	// single-digit µW near -20 dBm.
+	h := NewBatteryFree()
+	top := h.OperatingPoint(units.DBmToWatts(4), ch6)
+	if uw := units.Microwatts(top.RectDCW); uw < 80 || uw > 350 {
+		t.Errorf("battery-free output at +4 dBm = %.1f µW, want order of 150", uw)
+	}
+	bottom := h.OperatingPoint(units.DBmToWatts(-20), ch6)
+	if uw := units.Microwatts(bottom.RectDCW); uw > 10 {
+		t.Errorf("battery-free output at -20 dBm = %.1f µW, want < 10", uw)
+	}
+}
+
+func TestFig10ConsistentAcrossChannels(t *testing.T) {
+	// Fig. 10: the harvesters perform comparably on channels 1, 6 and 11
+	// thanks to the wideband match. Allow 35% spread.
+	for _, h := range []*Harvester{NewBatteryFree(), NewBatteryCharging()} {
+		for _, dbm := range []float64{-12, -8, -4} {
+			p := units.DBmToWatts(dbm)
+			var outs []float64
+			for _, f := range []float64{ch1, ch6, ch11} {
+				outs = append(outs, h.OperatingPoint(p, f).RectDCW)
+			}
+			lo, hi := outs[0], outs[0]
+			for _, o := range outs {
+				lo = math.Min(lo, o)
+				hi = math.Max(hi, o)
+			}
+			if lo <= 0 || (hi-lo)/hi > 0.35 {
+				t.Errorf("%v at %v dBm: channel spread too large: %v", h.Version, dbm, outs)
+			}
+		}
+	}
+}
+
+func TestAcceptedPowerNeverExceedsIncident(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		h := NewBatteryFree()
+		inc := units.DBmToWatts(r.Uniform(-30, 5))
+		freq := r.Uniform(2.40e9, 2.48e9)
+		acc := h.AcceptedPower(inc, freq)
+		return acc >= 0 && acc <= inc*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiChannelMatchesEquivalentSingleChannel(t *testing.T) {
+	// The multi-channel harvester cannot distinguish which channel power
+	// arrives on: three channels at P/3 each harvest within a few percent
+	// of a single channel at P (§3.1's design goal).
+	h := NewBatteryFree()
+	p := units.DBmToWatts(-9)
+	multi := h.MultiChannelOperatingPoint([]ChannelPower{
+		{FreqHz: ch1, PowerW: p / 3},
+		{FreqHz: ch6, PowerW: p / 3},
+		{FreqHz: ch11, PowerW: p / 3},
+	})
+	single := h.OperatingPoint(p, ch6)
+	if single.RectDCW <= 0 {
+		t.Fatal("single-channel operating point collapsed")
+	}
+	ratio := multi.RectDCW / single.RectDCW
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("multi/single output ratio = %v, want about 1", ratio)
+	}
+}
+
+func TestMultiChannelEmptyInput(t *testing.T) {
+	h := NewBatteryFree()
+	op := h.MultiChannelOperatingPoint(nil)
+	if op.RectDCW != 0 || op.HarvestedW != 0 {
+		t.Errorf("empty input should produce zero operating point, got %+v", op)
+	}
+}
+
+func TestCanOperateConsistentWithSensitivity(t *testing.T) {
+	for _, h := range []*Harvester{NewBatteryFree(), NewBatteryCharging()} {
+		sens := h.SensitivityDBm(ch6)
+		if !h.CanOperate(units.DBmToWatts(sens+0.5), ch6) {
+			t.Errorf("%v cannot operate 0.5 dB above its sensitivity", h.Version)
+		}
+		if h.CanOperate(units.DBmToWatts(sens-0.5), ch6) {
+			t.Errorf("%v operates 0.5 dB below its sensitivity", h.Version)
+		}
+	}
+}
+
+func TestCapacitorEnergyRoundTrip(t *testing.T) {
+	c := &Capacitor{C: 1e-6}
+	stored := c.Charge(1e-6)
+	if stored != 1e-6 {
+		t.Errorf("Charge returned %v, want 1e-6", stored)
+	}
+	wantV := math.Sqrt(2 * 1e-6 / 1e-6)
+	if math.Abs(c.Voltage()-wantV) > 1e-12 {
+		t.Errorf("voltage = %v, want %v", c.Voltage(), wantV)
+	}
+	got := c.Discharge(5e-7)
+	if math.Abs(got-5e-7) > 1e-18 {
+		t.Errorf("Discharge returned %v, want 5e-7", got)
+	}
+	// Discharging more than stored drains it completely.
+	got = c.Discharge(1)
+	if math.Abs(got-5e-7) > 1e-12 || c.Voltage() != 0 {
+		t.Errorf("over-discharge: got %v, V=%v", got, c.Voltage())
+	}
+}
+
+func TestCapacitorStepLeakage(t *testing.T) {
+	c := &Capacitor{C: 47e-9, LeakR: 1e5, V: 0.3}
+	// With no input current, the node decays with tau = R·C = 4.7 ms.
+	c.Step(4.7e-3, 0)
+	// Forward-Euler single step of a full tau undershoots e^-1 but must
+	// drop substantially and stay non-negative.
+	if c.V >= 0.3 || c.V < 0 {
+		t.Errorf("leaky capacitor voltage after step = %v", c.V)
+	}
+}
+
+func TestCapacitorNeverNegative(t *testing.T) {
+	c := &Capacitor{C: 1e-9, V: 0.01}
+	c.Step(1, -1) // massive discharge current
+	if c.V < 0 {
+		t.Errorf("capacitor voltage went negative: %v", c.V)
+	}
+}
+
+func TestBatterySoCBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		b := NewNiMHPack()
+		b.SetSoC(r.Float64())
+		for i := 0; i < 50; i++ {
+			if r.Bool(0.5) {
+				b.Charge(r.Float64() * 1000)
+			} else {
+				b.Discharge(r.Float64() * 1000)
+			}
+			if soc := b.SoC(); soc < 0 || soc > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatteryChargeEfficiencyApplied(t *testing.T) {
+	b := NewNiMHPack()
+	in := b.Charge(100)
+	if math.Abs(in-100*b.ChargeEff) > 1e-9 {
+		t.Errorf("stored %v J of 100 J, want %v", in, 100*b.ChargeEff)
+	}
+}
+
+func TestBatteryVoltageRisesWithSoC(t *testing.T) {
+	b := NewLiIonCoinCell()
+	b.SetSoC(0.1)
+	low := b.Voltage()
+	b.SetSoC(0.9)
+	high := b.Voltage()
+	if high <= low {
+		t.Errorf("voltage did not rise with SoC: %v vs %v", low, high)
+	}
+	if math.Abs(b.NominalV-3.0) > 1e-9 {
+		t.Errorf("Li-Ion nominal voltage = %v, want 3.0", b.NominalV)
+	}
+}
+
+func TestBatterySelfDischarge(t *testing.T) {
+	b := NewNiMHPack()
+	b.SetSoC(1)
+	before := b.StoredEnergy()
+	b.SelfDischarge(86400) // one day
+	after := b.StoredEnergy()
+	lost := (before - after) / before
+	if math.Abs(lost-b.SelfDischargePerDay) > 1e-6 {
+		t.Errorf("one-day self-discharge fraction = %v, want %v", lost, b.SelfDischargePerDay)
+	}
+}
+
+func TestNiMHPackCapacity(t *testing.T) {
+	// 750 mAh at 2.4 V = 6480 J.
+	b := NewNiMHPack()
+	if math.Abs(b.CapacityJ-6480) > 1 {
+		t.Errorf("NiMH capacity = %v J, want 6480", b.CapacityJ)
+	}
+}
+
+func TestSeikoThresholds(t *testing.T) {
+	s := NewSeikoS882Z()
+	if s.StartupV != 0.30 {
+		t.Errorf("startup threshold = %v, want 0.30 (the Fig. 1 line)", s.StartupV)
+	}
+	if s.ReleaseV != 2.4 {
+		t.Errorf("release voltage = %v, want 2.4", s.ReleaseV)
+	}
+	if s.OutputPower(0.29) != 0 {
+		t.Error("pump output below startup threshold should be zero")
+	}
+	if s.OutputPower(0.35) <= 0 {
+		t.Error("pump output above startup threshold should be positive")
+	}
+}
+
+func TestSeikoInputCurrentMonotone(t *testing.T) {
+	s := NewSeikoS882Z()
+	prev := -1.0
+	for v := 0.0; v < 1.5; v += 0.01 {
+		i := s.InputCurrent(v)
+		// The load line may step at the threshold but must never exceed
+		// the pump limit and must be monotone above the threshold.
+		if v > s.StartupV && i < prev {
+			t.Fatalf("pump current decreased at %v V", v)
+		}
+		if i > s.PumpLimitA && v >= s.StartupV {
+			t.Fatalf("pump current exceeds limit at %v V", v)
+		}
+		if v >= s.StartupV {
+			prev = i
+		}
+	}
+}
+
+func TestBQ25570LoadLineMonotone(t *testing.T) {
+	b := NewBQ25570()
+	prev := -1.0
+	for v := 0.0; v < 2.0; v += 0.005 {
+		i := b.InputCurrent(v)
+		if i < prev {
+			t.Fatalf("bq25570 load line decreased at %v V", v)
+		}
+		if i > b.InputLimitA {
+			t.Fatalf("bq25570 current exceeds limit at %v V", v)
+		}
+		prev = i
+	}
+}
+
+func TestBQ25570NetChargeSignsAndQuiescent(t *testing.T) {
+	b := NewBQ25570()
+	if got := b.NetChargePower(0.05, 0.001); got != -b.QuiescentW {
+		t.Errorf("below min operating voltage net power = %v, want -quiescent", got)
+	}
+	if got := b.NetChargePower(0.2, 100e-6); got <= 0 {
+		t.Errorf("healthy operating point net power = %v, want > 0", got)
+	}
+}
+
+func TestTransientFig1NeverBoots(t *testing.T) {
+	// §2: a sensor 10 feet from the organization's router (23 dBm,
+	// 4.04 dBi antennas, 10-40%% occupancy) never reaches the 300 mV
+	// threshold. Model the worst case of continuous 40% duty bursts.
+	h := NewBatteryFree()
+	tr := NewTransient(h, &Capacitor{C: 10e-6})
+	// Received power at 10 ft: 23 + 4.04 + 2 - 49.9 ≈ -20.9 dBm.
+	inc := units.DBmToWatts(-20.9)
+	const dt = 5e-6
+	maxV := 0.0
+	// 100 ms of 40%-occupancy traffic: 400 µs burst, 600 µs silence.
+	for t0 := 0.0; t0 < 0.1; t0 += dt {
+		var p float64
+		if math.Mod(t0, 1e-3) < 0.4e-3 {
+			p = inc
+		}
+		v := tr.Step(dt, []ChannelPower{{FreqHz: ch6, PowerW: p}})
+		maxV = math.Max(maxV, v)
+	}
+	if maxV >= 0.30 {
+		t.Errorf("Fig. 1 scenario reached %v V, paper shows it never crosses 0.30", maxV)
+	}
+	if maxV < 0.05 {
+		t.Errorf("Fig. 1 scenario peaked at only %v V; paper shows 0.15-0.25 V swings", maxV)
+	}
+}
+
+func TestTransientHighOccupancyBoots(t *testing.T) {
+	// A PoWiFi router at close range with ~90% cumulative occupancy must
+	// drive the node past 300 mV and start pumping energy into storage.
+	h := NewBatteryFree()
+	store := &Capacitor{C: 100e-6}
+	tr := NewTransient(h, store)
+	inc := units.DBmToWatts(-8) // a few feet from the router
+	const dt = 5e-6
+	for t0 := 0.0; t0 < 0.2; t0 += dt {
+		var p float64
+		if math.Mod(t0, 1e-3) < 0.9e-3 {
+			p = inc
+		}
+		tr.Step(dt, []ChannelPower{{FreqHz: ch6, PowerW: p}})
+	}
+	if !tr.PumpRunning {
+		t.Error("pump did not start under high-occupancy PoWiFi traffic")
+	}
+	if store.StoredEnergy() <= 0 {
+		t.Error("no energy accumulated in storage")
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	if BatteryFree.String() != "battery-free" {
+		t.Errorf("BatteryFree.String() = %q", BatteryFree.String())
+	}
+	if BatteryCharging.String() != "battery-recharging" {
+		t.Errorf("BatteryCharging.String() = %q", BatteryCharging.String())
+	}
+}
+
+func TestBurstyOperatingEquivalentAtFullOccupancy(t *testing.T) {
+	// Occupancy 1.0 on every channel makes bursty drive continuous: the
+	// bursty and continuous evaluations must coincide.
+	h := NewBatteryFree()
+	p := units.DBmToWatts(-10)
+	chans := []ChannelPower{{FreqHz: ch1, PowerW: p}, {FreqHz: ch6, PowerW: p}, {FreqHz: ch11, PowerW: p}}
+	bursty := h.BurstyOperating(chans, []float64{1, 1, 1})
+	cont := h.MultiChannelOperatingPoint(chans)
+	if math.Abs(bursty.HarvestedW-cont.HarvestedW) > 1e-9 {
+		t.Errorf("full-occupancy bursty %v != continuous %v", bursty.HarvestedW, cont.HarvestedW)
+	}
+}
+
+func TestBurstyBeatsTimeAveragedDrive(t *testing.T) {
+	// Concentrating the same average power into bursts helps the
+	// nonlinear rectifier: bursty harvest >= harvest of the time-averaged
+	// power near the sensitivity floor.
+	h := NewBatteryFree()
+	p := units.DBmToWatts(-13)
+	occ := 0.3
+	chans := []ChannelPower{{FreqHz: ch1, PowerW: p}, {FreqHz: ch6, PowerW: p}, {FreqHz: ch11, PowerW: p}}
+	bursty := h.BurstyOperating(chans, []float64{occ, occ, occ})
+	avg := make([]ChannelPower, len(chans))
+	for i, c := range chans {
+		avg[i] = ChannelPower{FreqHz: c.FreqHz, PowerW: c.PowerW * occ}
+	}
+	cont := h.MultiChannelOperatingPoint(avg)
+	if bursty.HarvestedW < cont.HarvestedW*0.95 {
+		t.Errorf("bursty harvest %v fell below time-averaged %v", bursty.HarvestedW, cont.HarvestedW)
+	}
+}
+
+func TestBurstyOperatingZeroOccupancy(t *testing.T) {
+	bf := NewBatteryFree()
+	op := bf.BurstyOperating([]ChannelPower{{FreqHz: ch6, PowerW: 1e-3}}, []float64{0})
+	if op.HarvestedW != 0 {
+		t.Errorf("zero-occupancy battery-free harvest = %v, want 0", op.HarvestedW)
+	}
+	bc := NewBatteryCharging()
+	op = bc.BurstyOperating([]ChannelPower{{FreqHz: ch6, PowerW: 1e-3}}, []float64{0})
+	if op.HarvestedW != -bc.BQ.QuiescentW {
+		t.Errorf("zero-occupancy charging harvest = %v, want -quiescent", op.HarvestedW)
+	}
+}
+
+func TestBurstyOperatingMismatchedInputs(t *testing.T) {
+	h := NewBatteryFree()
+	op := h.BurstyOperating([]ChannelPower{{FreqHz: ch6, PowerW: 1e-3}}, []float64{0.5, 0.5})
+	if op.HarvestedW != 0 || op.RectDCW != 0 {
+		t.Error("mismatched chans/occupancy lengths should return zero")
+	}
+}
+
+func TestCanBootBurstyThresholds(t *testing.T) {
+	h := NewBatteryFree()
+	strong := []ChannelPower{{FreqHz: ch6, PowerW: units.DBmToWatts(-5)}}
+	if !h.CanBootBursty(strong, []float64{0.9}) {
+		t.Error("strong bursty drive should boot")
+	}
+	weak := []ChannelPower{{FreqHz: ch6, PowerW: units.DBmToWatts(-30)}}
+	if h.CanBootBursty(weak, []float64{0.9}) {
+		t.Error("weak drive must not boot")
+	}
+	if h.CanBootBursty(nil, nil) {
+		t.Error("no input must not boot")
+	}
+	// Battery-charging chains have no cold start.
+	if !NewBatteryCharging().CanBootBursty(weak, []float64{0.9}) {
+		t.Error("battery-charging version never needs cold start")
+	}
+}
+
+func TestBestCapParameters(t *testing.T) {
+	c := NewBestCap()
+	if c.C != 6.8e-3 {
+		t.Errorf("BestCap capacitance = %v, want 6.8 mF", c.C)
+	}
+	if c.LeakR <= 0 {
+		t.Error("BestCap should model leakage")
+	}
+}
+
+func TestJawboneBatteryConsistentWithPaperNumbers(t *testing.T) {
+	// 2.3 mA × 2.5 h at ~3.8 V must land near 41% of capacity.
+	b := NewJawboneUP24Battery()
+	delivered := 0.0023 * 2.5 * 3600 * b.NominalV // joules at the terminal
+	frac := delivered * b.ChargeEff / b.CapacityJ
+	if frac < 0.30 || frac > 0.55 {
+		t.Errorf("paper charging profile fills %.0f%% of the battery, want near 41%%", frac*100)
+	}
+}
+
+func TestBatteryStringFormat(t *testing.T) {
+	b := NewNiMHPack()
+	b.SetSoC(0.5)
+	if got := b.String(); got != "NiMH 2xAAA 750mAh @ 50%" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTransientBatteryChargingStep(t *testing.T) {
+	// The battery-charging transient path: with healthy drive, the chip
+	// charges the battery; with none, quiescent drain discharges it.
+	h := NewBatteryCharging()
+	batt := NewNiMHPack()
+	batt.SetSoC(0.5)
+	tr := NewTransient(h, batt)
+	before := batt.StoredEnergy()
+	for i := 0; i < 20000; i++ {
+		tr.Step(5e-6, []ChannelPower{{FreqHz: ch6, PowerW: units.DBmToWatts(-6)}})
+	}
+	if batt.StoredEnergy() <= before {
+		t.Error("battery did not charge under strong drive")
+	}
+	mid := batt.StoredEnergy()
+	for i := 0; i < 20000; i++ {
+		tr.Step(5e-6, nil)
+	}
+	if batt.StoredEnergy() >= mid {
+		t.Error("quiescent drain should discharge the battery with no RF")
+	}
+}

@@ -1,0 +1,86 @@
+package harvester
+
+import "math"
+
+// Transient simulates the harvesting chain's voltage dynamics at
+// sub-millisecond resolution. It reproduces the Fig. 1 phenomenon: the
+// rectifier output node charges during Wi-Fi packet bursts and leaks back
+// down during silent periods, so a low-occupancy router never lifts the
+// node across the converter's 300 mV startup threshold.
+type Transient struct {
+	H *Harvester
+	// Node is the rectifier output capacitor (the node whose voltage
+	// Fig. 1 plots).
+	Node *Capacitor
+	// Store is the converter-side storage element (the Seiko's storage
+	// capacitor for battery-free designs, or a battery).
+	Store Storage
+	// PumpRunning reports whether the charge pump is currently above its
+	// startup threshold and transferring energy (battery-free only).
+	PumpRunning bool
+	// OutputOn reports whether the storage has reached the release
+	// voltage and the load is being powered (battery-free only).
+	OutputOn bool
+}
+
+// NewTransient returns a transient simulation of harvester h with the
+// standard 47 nF rectifier output node and the given storage element.
+func NewTransient(h *Harvester, store Storage) *Transient {
+	return &Transient{
+		H:     h,
+		Node:  &Capacitor{C: 47e-9},
+		Store: store,
+	}
+}
+
+// Step advances the simulation by dt seconds with the given incident
+// multi-channel RF power. It returns the rectifier node voltage after the
+// step.
+func (t *Transient) Step(dt float64, chans []ChannelPower) float64 {
+	v := t.Node.V
+	// Accepted RF power at the present node voltage: one impedance
+	// evaluation per channel (the fixed point is unnecessary here because
+	// the node voltage, not the steady-state operating point, sets the
+	// rectifier's drive state).
+	acc := 0.0
+	for _, c := range chans {
+		if c.PowerW <= 0 {
+			continue
+		}
+		z := t.H.rectifierImpedance(math.Max(acc, 0.3*c.PowerW), v, c.FreqHz)
+		acc += c.PowerW * t.H.Match.PowerTransferFraction(z, c.FreqHz)
+	}
+	var iSrc float64
+	if acc > 0 {
+		va := t.H.Rect.SolveAmplitude(acc, v)
+		iSrc = t.H.Rect.OutputCurrent(va, v)
+	} else if v > 0 {
+		// Unlit diodes leak the node backwards.
+		iSrc = t.H.Rect.OutputCurrent(0, v)
+	}
+
+	// Converter draw from the node.
+	var iLoad float64
+	switch t.H.Version {
+	case BatteryFree:
+		iLoad = t.H.Seiko.InputCurrent(v)
+		t.PumpRunning = v >= t.H.Seiko.StartupV
+		if t.PumpRunning {
+			t.Store.Charge(t.H.Seiko.OutputPower(v) * dt)
+		}
+		if t.Store.Voltage() >= t.H.Seiko.ReleaseV {
+			t.OutputOn = true
+		}
+	case BatteryCharging:
+		iLoad = t.H.BQ.InputCurrent(v)
+		net := t.H.BQ.NetChargePower(v, iLoad) * dt
+		if net > 0 {
+			t.Store.Charge(net)
+		} else {
+			t.Store.Discharge(-net)
+		}
+	}
+
+	t.Node.Step(dt, iSrc-iLoad)
+	return t.Node.V
+}

@@ -1,0 +1,161 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/medium"
+	"repro/internal/phy"
+	"repro/internal/xrand"
+)
+
+// TestAirtimeConservationProperty: a station never overlaps its own
+// transmissions, so the sum of its frames' airtimes can never exceed the
+// elapsed simulation time.
+func TestAirtimeConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		sched := eventsim.New()
+		ch := medium.NewChannel(phy.Channel1, sched)
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(3)
+		stations := make([]*Station, n)
+		for i := range stations {
+			stations[i] = NewStation(i, "sta", medium.Location{X: float64(i)}, ch,
+				xrand.NewFromLabel(seed, string(rune('a'+i))))
+		}
+		// Saturate every station with random-size broadcasts.
+		for i, s := range stations {
+			s := s
+			i := i
+			var feed func()
+			feed = func() {
+				s.Enqueue(&Frame{
+					DstID:     medium.Broadcast,
+					Bytes:     100 + rng.Intn(1400),
+					Kind:      medium.KindData,
+					FixedRate: phy.OFDMRates[(i+rng.Intn(3))%len(phy.OFDMRates)],
+				})
+			}
+			s.OnSent = func(*Frame, bool) { feed() }
+			feed()
+		}
+		horizon := 300 * time.Millisecond
+		sched.RunUntil(horizon)
+		perStation := make(map[int]time.Duration, n)
+		for _, s := range stations {
+			perStation[s.StationID()] = s.TxAirtimeData
+		}
+		total := time.Duration(0)
+		for _, air := range perStation {
+			if air > horizon {
+				return false // a single station overlapped itself
+			}
+			total += air
+		}
+		// The union of all transmissions (collisions overlap) cannot
+		// exceed ~2x the horizon even in pathological schedules; with
+		// carrier sense it should stay near 1x. Use the loose bound as
+		// the invariant.
+		return total <= 2*horizon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNWayFairnessProperty: N identical saturated stations split the
+// channel within a reasonable band of 1/N each (DCF long-term fairness).
+func TestNWayFairnessProperty(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		sched := eventsim.New()
+		ch := medium.NewChannel(phy.Channel1, sched)
+		sent := make([]int, n)
+		for i := 0; i < n; i++ {
+			s := NewStation(i, "sta", medium.Location{X: float64(i)}, ch,
+				xrand.NewFromLabel(uint64(n), string(rune('a'+i))))
+			i := i
+			var feed func()
+			feed = func() {
+				s.Enqueue(&Frame{DstID: medium.Broadcast, Bytes: 1500, Kind: medium.KindData})
+			}
+			s.OnSent = func(*Frame, bool) { sent[i]++; feed() }
+			feed()
+		}
+		sched.RunUntil(2 * time.Second)
+		total := 0
+		for _, c := range sent {
+			total += c
+		}
+		if total == 0 {
+			t.Fatalf("n=%d: nothing transmitted", n)
+		}
+		for i, c := range sent {
+			share := float64(c) / float64(total)
+			want := 1.0 / float64(n)
+			if share < want*0.7 || share > want*1.3 {
+				t.Errorf("n=%d station %d share = %.3f, want about %.3f", n, i, share, want)
+			}
+		}
+	}
+}
+
+// TestNoDuplicateDeliveryUnderCleanChannel: on a collision-free channel
+// every unicast data frame is delivered exactly once, in order.
+func TestNoDuplicateDeliveryUnderCleanChannel(t *testing.T) {
+	sched := eventsim.New()
+	ch := medium.NewChannel(phy.Channel1, sched)
+	tx := NewStation(0, "tx", medium.Location{}, ch, xrand.New(1))
+	rx := NewStation(1, "rx", medium.Location{X: 1}, ch, xrand.New(2))
+	var got []int
+	rx.OnDeliver = func(f *Frame, from int) { got = append(got, f.Bytes) }
+	const n = 200
+	// Feed within the queue capacity: one new frame per completion.
+	next := 0
+	var feed func()
+	feed = func() {
+		if next < n {
+			tx.Enqueue(&Frame{DstID: 1, Bytes: 100 + next, Kind: medium.KindData})
+			next++
+		}
+	}
+	tx.OnSent = func(*Frame, bool) { feed() }
+	feed()
+	sched.Run()
+	if len(got) != n {
+		t.Fatalf("delivered %d frames, want %d", len(got), n)
+	}
+	for i, b := range got {
+		if b != 100+i {
+			t.Fatalf("delivery %d out of order: got %d", i, b)
+		}
+	}
+}
+
+// TestDeterministicMACReplay: the full DCF machinery replays identically
+// under the same seeds.
+func TestDeterministicMACReplay(t *testing.T) {
+	run := func() (int, int) {
+		sched := eventsim.New()
+		ch := medium.NewChannel(phy.Channel1, sched)
+		a := NewStation(0, "a", medium.Location{}, ch, xrand.NewFromLabel(5, "a"))
+		b := NewStation(1, "b", medium.Location{X: 1}, ch, xrand.NewFromLabel(5, "b"))
+		for _, s := range []*Station{a, b} {
+			s := s
+			var feed func()
+			feed = func() {
+				s.Enqueue(&Frame{DstID: medium.Broadcast, Bytes: 1500, Kind: medium.KindData})
+			}
+			s.OnSent = func(*Frame, bool) { feed() }
+			feed()
+		}
+		sched.RunUntil(500 * time.Millisecond)
+		return a.TxFrames, ch.Collisions
+	}
+	a1, c1 := run()
+	a2, c2 := run()
+	if a1 != a2 || c1 != c2 {
+		t.Errorf("replay diverged: %d/%d vs %d/%d", a1, c1, a2, c2)
+	}
+}

@@ -1,0 +1,127 @@
+package mac
+
+import "repro/internal/medium"
+
+// QueueDiscipline orders frames awaiting transmission. The default is a
+// plain FIFO; the PoWiFi router's client-facing interface uses fair
+// queueing between the client flow and the power-packet flow, mirroring
+// the fq_codel discipline mac80211 applies on real Linux routers — which
+// is what makes the paper's NoQueue scheme "roughly halve" client
+// throughput (§4.1a) instead of starving it.
+type QueueDiscipline interface {
+	// Enqueue accepts a frame or returns false to drop it.
+	Enqueue(f *Frame) bool
+	// Dequeue removes and returns the next frame, or nil when empty.
+	Dequeue() *Frame
+	// Len returns the number of queued frames (what the paper's
+	// Power_MACshim exposes to the IP layer).
+	Len() int
+}
+
+// FIFO is a drop-tail first-in-first-out queue.
+type FIFO struct {
+	Cap    int
+	frames []*Frame
+	drops  int
+}
+
+// NewFIFO returns a FIFO with the given capacity.
+func NewFIFO(capacity int) *FIFO { return &FIFO{Cap: capacity} }
+
+// Enqueue implements QueueDiscipline.
+func (q *FIFO) Enqueue(f *Frame) bool {
+	if len(q.frames) >= q.Cap {
+		q.drops++
+		return false
+	}
+	q.frames = append(q.frames, f)
+	return true
+}
+
+// Dequeue implements QueueDiscipline.
+func (q *FIFO) Dequeue() *Frame {
+	if len(q.frames) == 0 {
+		return nil
+	}
+	f := q.frames[0]
+	q.frames = q.frames[1:]
+	return f
+}
+
+// Len implements QueueDiscipline.
+func (q *FIFO) Len() int { return len(q.frames) }
+
+// Drops returns the number of frames rejected at capacity.
+func (q *FIFO) Drops() int { return q.drops }
+
+// FairQueue is a deficit-round-robin discipline with one subqueue per
+// frame kind (client data vs power packets), one frame per turn. It
+// models the flow isolation of fq_codel between the iperf flow and the
+// injector's broadcast flow.
+type FairQueue struct {
+	// PerFlowCap bounds each subqueue.
+	PerFlowCap int
+
+	flows map[medium.FrameKind]*FIFO
+	order []medium.FrameKind
+	next  int
+	drops int
+}
+
+// NewFairQueue returns a fair queue with the given per-flow capacity.
+func NewFairQueue(perFlowCap int) *FairQueue {
+	return &FairQueue{
+		PerFlowCap: perFlowCap,
+		flows:      make(map[medium.FrameKind]*FIFO),
+	}
+}
+
+// Enqueue implements QueueDiscipline.
+func (q *FairQueue) Enqueue(f *Frame) bool {
+	fl, exists := q.flows[f.Kind]
+	if !exists {
+		fl = NewFIFO(q.PerFlowCap)
+		q.flows[f.Kind] = fl
+		q.order = append(q.order, f.Kind)
+	}
+	if !fl.Enqueue(f) {
+		q.drops++
+		return false
+	}
+	return true
+}
+
+// Dequeue implements QueueDiscipline: round-robin across non-empty flows.
+func (q *FairQueue) Dequeue() *Frame {
+	if len(q.order) == 0 {
+		return nil
+	}
+	for i := 0; i < len(q.order); i++ {
+		kind := q.order[(q.next+i)%len(q.order)]
+		if f := q.flows[kind].Dequeue(); f != nil {
+			q.next = (q.next + i + 1) % len(q.order)
+			return f
+		}
+	}
+	return nil
+}
+
+// Len implements QueueDiscipline.
+func (q *FairQueue) Len() int {
+	n := 0
+	for _, fl := range q.flows {
+		n += fl.Len()
+	}
+	return n
+}
+
+// FlowLen returns the backlog of one flow.
+func (q *FairQueue) FlowLen(kind medium.FrameKind) int {
+	if fl, exists := q.flows[kind]; exists {
+		return fl.Len()
+	}
+	return 0
+}
+
+// Drops returns the total frames rejected at per-flow capacity.
+func (q *FairQueue) Drops() int { return q.drops }

@@ -1,0 +1,130 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/medium"
+)
+
+func TestFIFOOrdering(t *testing.T) {
+	q := NewFIFO(10)
+	for i := 0; i < 5; i++ {
+		if !q.Enqueue(&Frame{Bytes: i}) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		f := q.Dequeue()
+		if f == nil || f.Bytes != i {
+			t.Fatalf("dequeue %d returned %+v", i, f)
+		}
+	}
+	if q.Dequeue() != nil {
+		t.Error("empty dequeue should return nil")
+	}
+}
+
+func TestFIFODropsAtCap(t *testing.T) {
+	q := NewFIFO(2)
+	q.Enqueue(&Frame{})
+	q.Enqueue(&Frame{})
+	if q.Enqueue(&Frame{}) {
+		t.Error("enqueue beyond capacity should fail")
+	}
+	if q.Drops() != 1 {
+		t.Errorf("drops = %d, want 1", q.Drops())
+	}
+	if q.Len() != 2 {
+		t.Errorf("len = %d, want 2", q.Len())
+	}
+}
+
+func TestFairQueueAlternatesFlows(t *testing.T) {
+	q := NewFairQueue(100)
+	// Backlog: 6 power frames, 3 data frames.
+	for i := 0; i < 6; i++ {
+		q.Enqueue(&Frame{Kind: medium.KindPower, Bytes: i})
+	}
+	for i := 0; i < 3; i++ {
+		q.Enqueue(&Frame{Kind: medium.KindData, Bytes: 100 + i})
+	}
+	var kinds []medium.FrameKind
+	for f := q.Dequeue(); f != nil; f = q.Dequeue() {
+		kinds = append(kinds, f.Kind)
+	}
+	if len(kinds) != 9 {
+		t.Fatalf("dequeued %d frames, want 9", len(kinds))
+	}
+	// While both flows are backlogged, service must alternate: among the
+	// first 6 dequeues, exactly 3 must be data.
+	data := 0
+	for _, k := range kinds[:6] {
+		if k == medium.KindData {
+			data++
+		}
+	}
+	if data != 3 {
+		t.Errorf("data frames in first 6 dequeues = %d, want 3 (fair alternation)", data)
+	}
+	// Remaining dequeues drain the power backlog.
+	for _, k := range kinds[6:] {
+		if k != medium.KindPower {
+			t.Error("tail of drain should be power frames only")
+		}
+	}
+}
+
+func TestFairQueuePreservesPerFlowOrder(t *testing.T) {
+	q := NewFairQueue(100)
+	for i := 0; i < 4; i++ {
+		q.Enqueue(&Frame{Kind: medium.KindData, Bytes: i})
+	}
+	prev := -1
+	for f := q.Dequeue(); f != nil; f = q.Dequeue() {
+		if f.Bytes <= prev {
+			t.Fatal("per-flow FIFO order violated")
+		}
+		prev = f.Bytes
+	}
+}
+
+func TestFairQueuePerFlowCap(t *testing.T) {
+	q := NewFairQueue(2)
+	q.Enqueue(&Frame{Kind: medium.KindPower})
+	q.Enqueue(&Frame{Kind: medium.KindPower})
+	if q.Enqueue(&Frame{Kind: medium.KindPower}) {
+		t.Error("power flow should be at capacity")
+	}
+	// The data flow has its own capacity.
+	if !q.Enqueue(&Frame{Kind: medium.KindData}) {
+		t.Error("data flow should still accept")
+	}
+	if q.Drops() != 1 {
+		t.Errorf("drops = %d, want 1", q.Drops())
+	}
+	if q.FlowLen(medium.KindPower) != 2 || q.FlowLen(medium.KindData) != 1 {
+		t.Errorf("flow lengths = %d/%d", q.FlowLen(medium.KindPower), q.FlowLen(medium.KindData))
+	}
+}
+
+func TestFairQueueLenAcrossFlows(t *testing.T) {
+	q := NewFairQueue(10)
+	q.Enqueue(&Frame{Kind: medium.KindPower})
+	q.Enqueue(&Frame{Kind: medium.KindData})
+	q.Enqueue(&Frame{Kind: medium.KindData})
+	if q.Len() != 3 {
+		t.Errorf("Len = %d, want 3", q.Len())
+	}
+}
+
+func TestFairQueueEmptyDequeue(t *testing.T) {
+	q := NewFairQueue(10)
+	if q.Dequeue() != nil {
+		t.Error("empty fair queue should dequeue nil")
+	}
+	q.Enqueue(&Frame{Kind: medium.KindData})
+	q.Dequeue()
+	if q.Dequeue() != nil {
+		t.Error("drained fair queue should dequeue nil")
+	}
+}

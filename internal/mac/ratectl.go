@@ -1,0 +1,70 @@
+package mac
+
+import "repro/internal/phy"
+
+// RateController selects data rates and learns from transmission results.
+// The paper's router uses "the default Wi-Fi rate adaptation algorithm"
+// for client traffic (§4.1b) while power packets ride at a fixed 54 Mbps.
+type RateController interface {
+	// DataRate returns the rate for the next data transmission.
+	DataRate() phy.Rate
+	// OnSuccess records an acknowledged transmission.
+	OnSuccess()
+	// OnFailure records a missing ACK.
+	OnFailure()
+}
+
+// FixedRate is a RateController pinned at one rate.
+type FixedRate phy.Rate
+
+// DataRate implements RateController.
+func (r FixedRate) DataRate() phy.Rate { return phy.Rate(r) }
+
+// OnSuccess implements RateController.
+func (FixedRate) OnSuccess() {}
+
+// OnFailure implements RateController.
+func (FixedRate) OnFailure() {}
+
+// ARF implements Auto Rate Fallback: step one rate up after a run of
+// consecutive successes, step down after consecutive failures. This is the
+// classic adaptation scheme shipped in commodity Atheros drivers.
+type ARF struct {
+	// UpAfter is the success streak required to try the next higher rate.
+	UpAfter int
+	// DownAfter is the failure streak that triggers a rate decrease.
+	DownAfter int
+
+	idx       int
+	successes int
+	failures  int
+}
+
+// NewARF returns an ARF controller starting at the highest rate with the
+// conventional 10-up/2-down thresholds.
+func NewARF() *ARF {
+	return &ARF{UpAfter: 10, DownAfter: 2, idx: len(phy.OFDMRates) - 1}
+}
+
+// DataRate implements RateController.
+func (a *ARF) DataRate() phy.Rate { return phy.OFDMRates[a.idx] }
+
+// OnSuccess implements RateController.
+func (a *ARF) OnSuccess() {
+	a.failures = 0
+	a.successes++
+	if a.successes >= a.UpAfter && a.idx < len(phy.OFDMRates)-1 {
+		a.idx++
+		a.successes = 0
+	}
+}
+
+// OnFailure implements RateController.
+func (a *ARF) OnFailure() {
+	a.successes = 0
+	a.failures++
+	if a.failures >= a.DownAfter && a.idx > 0 {
+		a.idx--
+		a.failures = 0
+	}
+}

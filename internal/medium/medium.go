@@ -1,0 +1,305 @@
+// Package medium implements the shared wireless channel: who senses whom,
+// which overlapping transmissions collide, and how much RF power arrives
+// at any point in space.
+//
+// Each 2.4 GHz Wi-Fi channel is an independent Channel instance (channels
+// 1, 6 and 11 do not overlap). Stations attach to a channel and interact
+// through carrier sense and frame delivery; energy-harvester probes attach
+// to a channel and simply integrate incident power over time — they do not
+// decode anything, mirroring the real harvester's obliviousness to packet
+// contents (§3).
+package medium
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/phy"
+	"repro/internal/rf"
+	"repro/internal/units"
+)
+
+// Location is a point in the simulated floor plan, in metres.
+type Location struct {
+	X, Y float64
+}
+
+// DistanceTo returns the Euclidean distance to other in metres.
+func (l Location) DistanceTo(other Location) float64 {
+	dx, dy := l.X-other.X, l.Y-other.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Station is the medium-facing interface a MAC entity implements.
+type Station interface {
+	// StationID returns a unique identifier on this channel.
+	StationID() int
+	// Location returns the station's position.
+	Location() Location
+	// TxPowerDBm returns the transmit power.
+	TxPowerDBm() float64
+	// AntennaGainDBi returns the antenna gain applied to both transmit
+	// and receive.
+	AntennaGainDBi() float64
+	// OnChannelBusy notifies that the station now senses the channel busy.
+	OnChannelBusy()
+	// OnChannelIdle notifies that the station now senses the channel idle.
+	OnChannelIdle()
+	// OnReceive delivers a completed transmission. ok is false when the
+	// frame collided or arrived below the rate's sensitivity.
+	OnReceive(tx *Transmission, ok bool)
+	// OnTxComplete notifies the transmitter that its own transmission
+	// finished.
+	OnTxComplete(tx *Transmission)
+}
+
+// FrameKind classifies transmissions for statistics and delivery logic.
+type FrameKind int
+
+// Frame kinds used across the stack.
+const (
+	KindData FrameKind = iota
+	KindAck
+	KindBeacon
+	KindPower // PoWiFi power packet (UDP broadcast)
+)
+
+// String implements fmt.Stringer.
+func (k FrameKind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindBeacon:
+		return "beacon"
+	case KindPower:
+		return "power"
+	}
+	return "unknown"
+}
+
+// Broadcast is the destination ID of broadcast transmissions.
+const Broadcast = -1
+
+// Transmission is one frame on the air.
+type Transmission struct {
+	Src     Station
+	DstID   int // station ID or Broadcast
+	Bytes   int // full MAC frame length
+	Rate    phy.Rate
+	Kind    FrameKind
+	Payload any
+	Start   time.Duration
+	End     time.Duration
+
+	overlapped []*Transmission // transmissions that overlapped this one
+}
+
+// Airtime returns the transmission's on-air duration.
+func (t *Transmission) Airtime() time.Duration { return t.End - t.Start }
+
+// PowerProbe receives incident-power updates from a channel. The harvester
+// integration layer implements this to accumulate RF energy.
+type PowerProbe interface {
+	// ProbeLocation returns the probe's position.
+	ProbeLocation() Location
+	// ProbeGainDBi returns the probe antenna gain (2 dBi in the paper).
+	ProbeGainDBi() float64
+	// ExtraLossDB returns additional fixed path loss (e.g. a wall).
+	ExtraLossDB() float64
+	// OnIncidentPower reports that the total incident power at the probe
+	// changed to w watts at the current simulation time.
+	OnIncidentPower(w float64)
+}
+
+// Channel is one Wi-Fi channel's shared medium.
+type Channel struct {
+	Num      phy.Channel
+	Sched    *eventsim.Scheduler
+	PathLoss rf.PathLossModel
+
+	stations []Station
+	probes   []PowerProbe
+	active   []*Transmission
+
+	// senseCount tracks, per station ID, how many active transmissions
+	// the station currently senses, to derive busy/idle edges.
+	senseCount map[int]int
+
+	// Observers receive every completed transmission regardless of
+	// addressing, like a monitor-mode interface running tcpdump (§4's
+	// occupancy methodology).
+	Observers []func(tx *Transmission)
+
+	// Stats.
+	TxCount    map[FrameKind]int
+	TxAirtime  map[FrameKind]time.Duration
+	Collisions int
+}
+
+// NewChannel creates a channel medium on the scheduler with free-space
+// propagation by default.
+func NewChannel(num phy.Channel, sched *eventsim.Scheduler) *Channel {
+	return &Channel{
+		Num:        num,
+		Sched:      sched,
+		PathLoss:   rf.FreeSpace{},
+		senseCount: make(map[int]int),
+		TxCount:    make(map[FrameKind]int),
+		TxAirtime:  make(map[FrameKind]time.Duration),
+	}
+}
+
+// AddStation attaches a station to the channel.
+func (c *Channel) AddStation(s Station) {
+	c.stations = append(c.stations, s)
+}
+
+// AddProbe attaches an energy-harvesting probe.
+func (c *Channel) AddProbe(p PowerProbe) {
+	c.probes = append(c.probes, p)
+}
+
+// rxPowerDBm returns the received power at location/gain from a
+// transmission's source.
+func (c *Channel) rxPowerDBm(src Station, loc Location, gainDBi, extraLossDB float64) float64 {
+	link := rf.Link{
+		TxPowerDBm: src.TxPowerDBm(),
+		TxAntenna:  rf.Antenna{GainDBi: src.AntennaGainDBi()},
+		RxAntenna:  rf.Antenna{GainDBi: gainDBi},
+		DistanceM:  src.Location().DistanceTo(loc),
+		Model:      c.PathLoss,
+	}
+	return link.ReceivedPowerDBm(c.Num.FreqHz()) - extraLossDB
+}
+
+// Senses reports whether station s currently senses the channel busy.
+func (c *Channel) Senses(s Station) bool {
+	return c.senseCount[s.StationID()] > 0
+}
+
+// senses reports whether station s can sense transmission tx.
+func (c *Channel) senses(s Station, tx *Transmission) bool {
+	if s.StationID() == tx.Src.StationID() {
+		return false
+	}
+	return c.rxPowerDBm(tx.Src, s.Location(), s.AntennaGainDBi(), 0) >= phy.CSThresholdDBm
+}
+
+// StartTx begins transmitting a frame. The transmission ends and resolves
+// automatically after its airtime.
+func (c *Channel) StartTx(src Station, dstID, bytes int, rate phy.Rate, kind FrameKind, payload any) *Transmission {
+	now := c.Sched.Now()
+	tx := &Transmission{
+		Src:     src,
+		DstID:   dstID,
+		Bytes:   bytes,
+		Rate:    rate,
+		Kind:    kind,
+		Payload: payload,
+		Start:   now,
+		End:     now + phy.Airtime(bytes, rate),
+	}
+	// Record pairwise overlaps with already-active transmissions.
+	for _, other := range c.active {
+		other.overlapped = append(other.overlapped, tx)
+		tx.overlapped = append(tx.overlapped, other)
+	}
+	c.active = append(c.active, tx)
+	c.TxCount[kind]++
+	c.TxAirtime[kind] += tx.Airtime()
+
+	// Busy edges for stations that sense this transmission.
+	for _, s := range c.stations {
+		if c.senses(s, tx) {
+			c.senseCount[s.StationID()]++
+			if c.senseCount[s.StationID()] == 1 {
+				s.OnChannelBusy()
+			}
+		}
+	}
+	c.updateProbes()
+
+	c.Sched.At(tx.End, func() { c.endTx(tx) })
+	return tx
+}
+
+// endTx resolves a completed transmission: removes it from the air,
+// releases carrier sense, and delivers it to receivers.
+func (c *Channel) endTx(tx *Transmission) {
+	for i, a := range c.active {
+		if a == tx {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			break
+		}
+	}
+	for _, s := range c.stations {
+		if c.senses(s, tx) {
+			c.senseCount[s.StationID()]--
+			if c.senseCount[s.StationID()] == 0 {
+				s.OnChannelIdle()
+			}
+		}
+	}
+	c.updateProbes()
+
+	if len(tx.overlapped) > 0 {
+		c.Collisions++
+	}
+	for _, obs := range c.Observers {
+		obs(tx)
+	}
+
+	// Deliver to each station other than the source.
+	for _, s := range c.stations {
+		if s.StationID() == tx.Src.StationID() {
+			continue
+		}
+		if tx.DstID != Broadcast && tx.DstID != s.StationID() {
+			// Not addressed here; stations still get overheard frames
+			// (needed by monitor interfaces), flagged by delivery result.
+			continue
+		}
+		ok := c.decodes(s, tx)
+		s.OnReceive(tx, ok)
+	}
+	tx.Src.OnTxComplete(tx)
+}
+
+// decodes reports whether station s successfully decodes tx: the frame
+// must arrive above the rate's sensitivity, and any overlapping
+// transmission must be CaptureMarginDB weaker.
+func (c *Channel) decodes(s Station, tx *Transmission) bool {
+	rx := c.rxPowerDBm(tx.Src, s.Location(), s.AntennaGainDBi(), 0)
+	if rx < phy.MinSensitivityDBm(tx.Rate) {
+		return false
+	}
+	for _, other := range tx.overlapped {
+		if other.Src.StationID() == s.StationID() {
+			// The station was itself transmitting: half-duplex, no decode.
+			return false
+		}
+		interference := c.rxPowerDBm(other.Src, s.Location(), s.AntennaGainDBi(), 0)
+		if rx-interference < phy.CaptureMarginDB {
+			return false
+		}
+	}
+	return true
+}
+
+// updateProbes pushes the current total incident power to every probe.
+func (c *Channel) updateProbes() {
+	for _, p := range c.probes {
+		total := 0.0
+		for _, tx := range c.active {
+			dbm := c.rxPowerDBm(tx.Src, p.ProbeLocation(), p.ProbeGainDBi(), p.ExtraLossDB())
+			total += units.DBmToWatts(dbm)
+		}
+		p.OnIncidentPower(total)
+	}
+}
+
+// ActiveCount returns the number of in-flight transmissions (test hook).
+func (c *Channel) ActiveCount() int { return len(c.active) }

@@ -1,0 +1,303 @@
+package medium
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/phy"
+)
+
+// fakeStation is a minimal Station for medium-level tests.
+type fakeStation struct {
+	id       int
+	loc      Location
+	powerDBm float64
+	gain     float64
+
+	busyEdges, idleEdges int
+	received             []*Transmission
+	receivedOK           []bool
+	completed            int
+}
+
+func (f *fakeStation) StationID() int          { return f.id }
+func (f *fakeStation) Location() Location      { return f.loc }
+func (f *fakeStation) TxPowerDBm() float64     { return f.powerDBm }
+func (f *fakeStation) AntennaGainDBi() float64 { return f.gain }
+func (f *fakeStation) OnChannelBusy()          { f.busyEdges++ }
+func (f *fakeStation) OnChannelIdle()          { f.idleEdges++ }
+func (f *fakeStation) OnReceive(tx *Transmission, ok bool) {
+	f.received = append(f.received, tx)
+	f.receivedOK = append(f.receivedOK, ok)
+}
+func (f *fakeStation) OnTxComplete(tx *Transmission) { f.completed++ }
+
+func rig(n int) (*eventsim.Scheduler, *Channel, []*fakeStation) {
+	sched := eventsim.New()
+	ch := NewChannel(phy.Channel6, sched)
+	stations := make([]*fakeStation, n)
+	for i := range stations {
+		stations[i] = &fakeStation{
+			id: i, loc: Location{X: float64(i)}, powerDBm: 20, gain: 2,
+		}
+		ch.AddStation(stations[i])
+	}
+	return sched, ch, stations
+}
+
+func TestLocationDistance(t *testing.T) {
+	a := Location{X: 0, Y: 0}
+	b := Location{X: 3, Y: 4}
+	if d := a.DistanceTo(b); math.Abs(d-5) > 1e-12 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+	if d := a.DistanceTo(a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestBusyIdleEdges(t *testing.T) {
+	sched, ch, st := rig(2)
+	ch.StartTx(st[0], Broadcast, 1536, phy.Rate54Mbps, KindData, nil)
+	if !ch.Senses(st[1]) {
+		t.Error("station 1 should sense the transmission")
+	}
+	if ch.Senses(st[0]) {
+		t.Error("a station never senses its own transmission")
+	}
+	sched.Run()
+	if st[1].busyEdges != 1 || st[1].idleEdges != 1 {
+		t.Errorf("edges = %d busy / %d idle, want 1/1", st[1].busyEdges, st[1].idleEdges)
+	}
+	if ch.Senses(st[1]) {
+		t.Error("channel should be idle after completion")
+	}
+}
+
+func TestBroadcastDeliveredToAll(t *testing.T) {
+	sched, ch, st := rig(3)
+	ch.StartTx(st[0], Broadcast, 1536, phy.Rate54Mbps, KindData, "payload")
+	sched.Run()
+	for _, s := range st[1:] {
+		if len(s.received) != 1 || !s.receivedOK[0] {
+			t.Errorf("station %d received %d/%v", s.id, len(s.received), s.receivedOK)
+		}
+		if s.received[0].Payload != "payload" {
+			t.Error("payload lost in delivery")
+		}
+	}
+	if len(st[0].received) != 0 {
+		t.Error("transmitter must not receive its own frame")
+	}
+	if st[0].completed != 1 {
+		t.Error("transmitter should see exactly one completion")
+	}
+}
+
+func TestUnicastDeliveredOnlyToAddressee(t *testing.T) {
+	sched, ch, st := rig(3)
+	ch.StartTx(st[0], 2, 1536, phy.Rate54Mbps, KindData, nil)
+	sched.Run()
+	if len(st[2].received) != 1 {
+		t.Error("addressee did not receive")
+	}
+	if len(st[1].received) != 0 {
+		t.Error("bystander received a unicast frame")
+	}
+}
+
+func TestOverlappingTransmissionsCollide(t *testing.T) {
+	sched, ch, st := rig(3)
+	// Two equal-power stations transmit simultaneously to station 2.
+	ch.StartTx(st[0], 2, 1536, phy.Rate54Mbps, KindData, nil)
+	ch.StartTx(st[1], 2, 1536, phy.Rate54Mbps, KindData, nil)
+	sched.Run()
+	if ch.Collisions == 0 {
+		t.Error("no collision recorded")
+	}
+	for i, ok := range st[2].receivedOK {
+		if ok {
+			t.Errorf("reception %d decoded despite equal-power collision", i)
+		}
+	}
+}
+
+func TestCaptureStrongerFrameSurvives(t *testing.T) {
+	sched := eventsim.New()
+	ch := NewChannel(phy.Channel6, sched)
+	strong := &fakeStation{id: 0, loc: Location{X: 0}, powerDBm: 30, gain: 6}
+	weak := &fakeStation{id: 1, loc: Location{X: 30}, powerDBm: 0, gain: 0}
+	rx := &fakeStation{id: 2, loc: Location{X: 1}, powerDBm: 20, gain: 2}
+	for _, s := range []*fakeStation{strong, weak, rx} {
+		ch.AddStation(s)
+	}
+	ch.StartTx(strong, 2, 1536, phy.Rate54Mbps, KindData, nil)
+	ch.StartTx(weak, 2, 1536, phy.Rate54Mbps, KindData, nil)
+	sched.Run()
+	// The receiver sits a metre from the strong transmitter and 29 m from
+	// the weak one: the strong frame captures.
+	decodedStrong := false
+	for i, tx := range rx.received {
+		if tx.Src.StationID() == 0 && rx.receivedOK[i] {
+			decodedStrong = true
+		}
+		if tx.Src.StationID() == 1 && rx.receivedOK[i] {
+			t.Error("weak frame decoded through a 10+ dB stronger interferer")
+		}
+	}
+	if !decodedStrong {
+		t.Error("strong frame should capture over the weak interferer")
+	}
+}
+
+func TestOutOfRangeStationDoesNotSense(t *testing.T) {
+	sched := eventsim.New()
+	ch := NewChannel(phy.Channel6, sched)
+	near := &fakeStation{id: 0, loc: Location{}, powerDBm: 0, gain: 0}
+	// ~-95 dBm at 1.5 km with 0 dBm transmit: below the -82 dBm CS
+	// threshold.
+	far := &fakeStation{id: 1, loc: Location{X: 1500}, powerDBm: 0, gain: 0}
+	ch.AddStation(near)
+	ch.AddStation(far)
+	ch.StartTx(near, Broadcast, 1536, phy.Rate54Mbps, KindData, nil)
+	if ch.Senses(far) {
+		t.Error("station 1.5 km away should not carrier-sense a 0 dBm transmission")
+	}
+	sched.Run()
+	if far.busyEdges != 0 {
+		t.Error("out-of-range station got a busy edge")
+	}
+}
+
+func TestBelowSensitivityNotDecoded(t *testing.T) {
+	sched := eventsim.New()
+	ch := NewChannel(phy.Channel6, sched)
+	tx := &fakeStation{id: 0, loc: Location{}, powerDBm: 0, gain: 0}
+	// 54 Mbps needs -72 dBm; at ~160 m with 0 dBm the signal is ~-84 dBm:
+	// carrier-sensed but not decodable.
+	rx := &fakeStation{id: 1, loc: Location{X: 160}, powerDBm: 0, gain: 0}
+	ch.AddStation(tx)
+	ch.AddStation(rx)
+	ch.StartTx(tx, 1, 1536, phy.Rate54Mbps, KindData, nil)
+	sched.Run()
+	if len(rx.received) != 1 || rx.receivedOK[0] {
+		t.Errorf("marginal frame should be delivered as failed: %v", rx.receivedOK)
+	}
+}
+
+func TestProbeSeesIncidentPower(t *testing.T) {
+	sched, ch, st := rig(2)
+	probe := &fakeProbe{loc: Location{X: 3}, gain: 2}
+	ch.AddProbe(probe)
+	ch.StartTx(st[0], Broadcast, 1536, phy.Rate54Mbps, KindPower, nil)
+	if probe.lastW <= 0 {
+		t.Fatal("probe saw no power during transmission")
+	}
+	during := probe.lastW
+	sched.Run()
+	if probe.lastW != 0 {
+		t.Errorf("probe power after completion = %v, want 0", probe.lastW)
+	}
+	if during < 1e-9 {
+		t.Errorf("incident power %v implausibly small", during)
+	}
+}
+
+func TestProbePowerSumsOverTransmitters(t *testing.T) {
+	sched, ch, st := rig(2)
+	probe := &fakeProbe{loc: Location{X: 0.5}, gain: 2}
+	ch.AddProbe(probe)
+	ch.StartTx(st[0], Broadcast, 1536, phy.Rate54Mbps, KindPower, nil)
+	one := probe.lastW
+	ch.StartTx(st[1], Broadcast, 1536, phy.Rate54Mbps, KindPower, nil)
+	two := probe.lastW
+	if two <= one {
+		t.Errorf("two transmitters (%v W) should exceed one (%v W)", two, one)
+	}
+	sched.Run()
+}
+
+func TestWallAttenuatesProbe(t *testing.T) {
+	sched, ch, st := rig(2)
+	clear := &fakeProbe{loc: Location{X: 3}, gain: 2}
+	walled := &fakeProbe{loc: Location{X: 3}, gain: 2, wallDB: 6.5}
+	ch.AddProbe(clear)
+	ch.AddProbe(walled)
+	ch.StartTx(st[0], Broadcast, 1536, phy.Rate54Mbps, KindPower, nil)
+	ratio := clear.lastW / walled.lastW
+	want := math.Pow(10, 0.65)
+	if math.Abs(ratio-want) > 0.01*want {
+		t.Errorf("wall attenuation ratio = %v, want %v", ratio, want)
+	}
+	sched.Run()
+}
+
+func TestObserverSeesEveryFrame(t *testing.T) {
+	sched, ch, st := rig(2)
+	var seen []FrameKind
+	ch.Observers = append(ch.Observers, func(tx *Transmission) {
+		seen = append(seen, tx.Kind)
+	})
+	ch.StartTx(st[0], 1, 1536, phy.Rate54Mbps, KindData, nil)
+	sched.Run()
+	ch.StartTx(st[1], Broadcast, 1536, phy.Rate54Mbps, KindPower, nil)
+	sched.Run()
+	if len(seen) != 2 || seen[0] != KindData || seen[1] != KindPower {
+		t.Errorf("observer saw %v", seen)
+	}
+}
+
+func TestAirtimeAccounting(t *testing.T) {
+	sched, ch, st := rig(2)
+	ch.StartTx(st[0], Broadcast, 1536, phy.Rate54Mbps, KindPower, nil)
+	sched.Run()
+	want := phy.Airtime(1536, phy.Rate54Mbps)
+	if got := ch.TxAirtime[KindPower]; got != want {
+		t.Errorf("airtime = %v, want %v", got, want)
+	}
+	if ch.TxCount[KindPower] != 1 {
+		t.Errorf("count = %d, want 1", ch.TxCount[KindPower])
+	}
+}
+
+func TestFrameKindStrings(t *testing.T) {
+	cases := map[FrameKind]string{
+		KindData: "data", KindAck: "ack", KindBeacon: "beacon", KindPower: "power",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestTransmissionAirtimeField(t *testing.T) {
+	sched, ch, st := rig(2)
+	tx := ch.StartTx(st[0], Broadcast, 100, phy.Rate6Mbps, KindData, nil)
+	if tx.Airtime() != phy.Airtime(100, phy.Rate6Mbps) {
+		t.Errorf("Airtime = %v", tx.Airtime())
+	}
+	if tx.Start != 0 || tx.End != tx.Airtime() {
+		t.Errorf("start/end = %v/%v", tx.Start, tx.End)
+	}
+	sched.Run()
+	if ch.ActiveCount() != 0 {
+		t.Error("transmission still active after Run")
+	}
+	_ = time.Now
+}
+
+// fakeProbe records incident power updates.
+type fakeProbe struct {
+	loc    Location
+	gain   float64
+	wallDB float64
+	lastW  float64
+}
+
+func (p *fakeProbe) ProbeLocation() Location   { return p.loc }
+func (p *fakeProbe) ProbeGainDBi() float64     { return p.gain }
+func (p *fakeProbe) ExtraLossDB() float64      { return p.wallDB }
+func (p *fakeProbe) OnIncidentPower(w float64) { p.lastW = w }

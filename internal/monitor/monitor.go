@@ -1,0 +1,126 @@
+// Package monitor reproduces the paper's measurement methodology (§4):
+// a monitor-mode interface capturing every frame on a channel (airmon-ng +
+// tcpdump), post-processed into channel occupancy
+//
+//	occupancy = Σ_i size_i/rate_i / total_duration
+//
+// over the frames sent by the router (tshark filtering by transmitter),
+// exactly the formula the paper states. Records accumulate into fixed
+// bins so day-long home deployments (60 s resolution, Fig. 14) and
+// 500 ms-interval benchmark runs (Fig. 7) use the same machinery.
+package monitor
+
+import (
+	"time"
+
+	"repro/internal/medium"
+	"repro/internal/stats"
+)
+
+// Monitor computes channel occupancy from captured frames.
+type Monitor struct {
+	// BinWidth is the occupancy sampling resolution.
+	BinWidth time.Duration
+
+	ch       *medium.Channel
+	filter   map[int]bool // transmitter station IDs to count; nil = all
+	bins     []time.Duration
+	total    time.Duration
+	started  time.Duration
+	captured int
+}
+
+// New attaches a monitor to a channel. srcIDs restricts the capture to
+// specific transmitter station IDs (the router's radios); pass none to
+// capture everything on the channel.
+func New(ch *medium.Channel, binWidth time.Duration, srcIDs ...int) *Monitor {
+	m := &Monitor{
+		BinWidth: binWidth,
+		ch:       ch,
+		started:  ch.Sched.Now(),
+	}
+	if len(srcIDs) > 0 {
+		m.filter = make(map[int]bool, len(srcIDs))
+		for _, id := range srcIDs {
+			m.filter[id] = true
+		}
+	}
+	ch.Observers = append(ch.Observers, m.capture)
+	return m
+}
+
+// capture records one completed transmission.
+func (m *Monitor) capture(tx *medium.Transmission) {
+	if m.filter != nil && !m.filter[tx.Src.StationID()] {
+		return
+	}
+	m.captured++
+	// The paper computes size/rate from the radiotap headers, which
+	// excludes the PLCP preamble; do the same. bytes·8/Mbps gives
+	// microseconds on the air.
+	onAir := time.Duration(float64(tx.Bytes*8)/tx.Rate.Mbps()*1000) * time.Nanosecond
+	m.total += onAir
+	bin := int((tx.End - m.started) / m.BinWidth)
+	for bin >= len(m.bins) {
+		m.bins = append(m.bins, 0)
+	}
+	m.bins[bin] += onAir
+}
+
+// Captured returns the number of frames recorded.
+func (m *Monitor) Captured() int { return m.captured }
+
+// MeanOccupancy returns total captured airtime divided by the elapsed
+// capture duration, as a fraction (0.55 = 55%).
+func (m *Monitor) MeanOccupancy() float64 {
+	elapsed := m.ch.Sched.Now() - m.started
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.total) / float64(elapsed)
+}
+
+// BinOccupancies returns the per-bin occupancy fractions for all complete
+// bins.
+func (m *Monitor) BinOccupancies() []float64 {
+	elapsed := m.ch.Sched.Now() - m.started
+	complete := int(elapsed / m.BinWidth)
+	out := make([]float64, complete)
+	for i := 0; i < complete; i++ {
+		if i < len(m.bins) {
+			out[i] = float64(m.bins[i]) / float64(m.BinWidth)
+		}
+		// Bins with no captured frames stay at zero occupancy.
+	}
+	return out
+}
+
+// OccupancyCDF returns the empirical CDF of per-bin occupancy percentages
+// (0–100+), the form Figs. 7 and 15 plot.
+func (m *Monitor) OccupancyCDF() *stats.CDF {
+	bins := m.BinOccupancies()
+	pct := make([]float64, len(bins))
+	for i, b := range bins {
+		pct[i] = b * 100
+	}
+	return stats.NewCDF(pct)
+}
+
+// CumulativeBins sums per-bin occupancy percentages across several
+// monitors (the paper's "cumulative occupancy" across channels 1/6/11,
+// which can exceed 100%).
+func CumulativeBins(monitors ...*Monitor) []float64 {
+	n := 0
+	for _, m := range monitors {
+		if b := len(m.BinOccupancies()); b > n {
+			n = b
+		}
+	}
+	out := make([]float64, n)
+	for _, m := range monitors {
+		for i, v := range m.BinOccupancies() {
+			out[i] += v * 100
+		}
+	}
+	return out
+}

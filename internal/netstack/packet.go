@@ -1,0 +1,83 @@
+// Package netstack provides the transport layer of the simulator: packets,
+// delivery paths (wired and wireless hops), UDP flows and a Reno-style TCP
+// with slow start, congestion avoidance, fast retransmit and RTO recovery.
+//
+// The paper's experiments exercise exactly these moving parts: iperf UDP
+// and TCP downloads through the PoWiFi router (Fig. 6a/6b) and web page
+// loads over parallel TCP connections (Fig. 6c). The PoWiFi-specific IP
+// machinery (Power_Socket, Power_MACshim, IP_Power) lives in the router
+// package and plugs into the same interfaces.
+package netstack
+
+import (
+	"time"
+
+	"repro/internal/eventsim"
+)
+
+// IPOverheadBytes is the IP + transport header overhead added to
+// application payload on the wire.
+const IPOverheadBytes = 40
+
+// Endpoint consumes delivered packets.
+type Endpoint interface {
+	Deliver(p *Packet)
+}
+
+// Packet is a network-layer datagram.
+type Packet struct {
+	// Dst is the endpoint that Deliver is invoked on at the end of the
+	// path.
+	Dst Endpoint
+	// Bytes is the application payload length.
+	Bytes int
+	// Seq is the transport sequence number (segment index for TCP).
+	Seq int
+	// Ack marks acknowledgment packets and AckSeq carries the cumulative
+	// acknowledgment.
+	Ack    bool
+	AckSeq int
+	// Sent is the timestamp the packet entered the path (for RTT
+	// estimation).
+	Sent time.Duration
+	// Retransmit marks retransmitted TCP segments (excluded from RTT
+	// sampling per Karn's algorithm).
+	Retransmit bool
+}
+
+// Path moves packets toward their destination endpoint.
+type Path interface {
+	// Send forwards the packet. Send never blocks; packets may be
+	// dropped along the way.
+	Send(p *Packet)
+}
+
+// WiredPath models the Internet-side hop between a server and the router:
+// a fixed one-way latency with no loss (the wired side is never the
+// bottleneck in the paper's experiments).
+type WiredPath struct {
+	Sched   *eventsim.Scheduler
+	Latency time.Duration
+	Next    Path
+}
+
+// Send implements Path.
+func (w *WiredPath) Send(p *Packet) {
+	w.Sched.After(w.Latency, func() { w.Next.Send(p) })
+}
+
+// FuncPath adapts a function to the Path interface.
+type FuncPath func(p *Packet)
+
+// Send implements Path.
+func (f FuncPath) Send(p *Packet) { f(p) }
+
+// DeliverPath terminates a path by invoking the packet's endpoint.
+type DeliverPath struct{}
+
+// Send implements Path.
+func (DeliverPath) Send(p *Packet) {
+	if p.Dst != nil {
+		p.Dst.Deliver(p)
+	}
+}

@@ -1,0 +1,103 @@
+package netstack
+
+import (
+	"time"
+
+	"repro/internal/eventsim"
+)
+
+// UDPSource generates constant-bit-rate UDP traffic, mirroring
+// "iperf -u -b <rate>" as used in §4.1(a): 1500-byte datagrams at a target
+// data rate.
+type UDPSource struct {
+	Sched *eventsim.Scheduler
+	// Path carries packets toward the sink.
+	Path Path
+	// Sink is the receiving endpoint.
+	Sink *UDPSink
+	// PayloadBytes per datagram (1500 in the paper, the Ethernet MTU).
+	PayloadBytes int
+	// RateMbps is the target application data rate.
+	RateMbps float64
+
+	cancel func()
+	sent   int
+}
+
+// Start begins generation until Stop is called.
+func (u *UDPSource) Start() {
+	if u.PayloadBytes <= 0 {
+		u.PayloadBytes = 1500
+	}
+	interval := time.Duration(float64(u.PayloadBytes*8) / (u.RateMbps * 1e6) * 1e9)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	u.cancel = u.Sched.Ticker(interval, func() {
+		u.sent++
+		u.Path.Send(&Packet{
+			Dst:   u.Sink,
+			Bytes: u.PayloadBytes,
+			Seq:   u.sent,
+			Sent:  u.Sched.Now(),
+		})
+	})
+}
+
+// Stop halts generation.
+func (u *UDPSource) Stop() {
+	if u.cancel != nil {
+		u.cancel()
+		u.cancel = nil
+	}
+}
+
+// Sent returns the number of datagrams generated.
+func (u *UDPSource) Sent() int { return u.sent }
+
+// UDPSink counts received UDP traffic and computes achieved throughput,
+// like the iperf server side.
+type UDPSink struct {
+	Sched *eventsim.Scheduler
+
+	received   int
+	bytes      int
+	firstAt    time.Duration
+	lastAt     time.Duration
+	totalDelay time.Duration
+}
+
+// Deliver implements Endpoint.
+func (u *UDPSink) Deliver(p *Packet) {
+	if u.received == 0 {
+		u.firstAt = u.Sched.Now()
+	}
+	u.received++
+	u.bytes += p.Bytes
+	u.lastAt = u.Sched.Now()
+	u.totalDelay += u.Sched.Now() - p.Sent
+}
+
+// Received returns the number of datagrams delivered.
+func (u *UDPSink) Received() int { return u.received }
+
+// Bytes returns the payload bytes delivered.
+func (u *UDPSink) Bytes() int { return u.bytes }
+
+// ThroughputMbps returns the achieved rate over the interval [start, end],
+// the quantity Fig. 6a plots.
+func (u *UDPSink) ThroughputMbps(start, end time.Duration) float64 {
+	dur := (end - start).Seconds()
+	if dur <= 0 {
+		return 0
+	}
+	return float64(u.bytes) * 8 / dur / 1e6
+}
+
+// MeanDelay returns the mean one-way delay of delivered datagrams.
+func (u *UDPSink) MeanDelay() time.Duration {
+	if u.received == 0 {
+		return 0
+	}
+	return u.totalDelay / time.Duration(u.received)
+}

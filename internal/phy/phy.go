@@ -1,0 +1,207 @@
+// Package phy models the 802.11b/g physical layer used by the PoWiFi
+// router and its clients: bit rates, frame airtimes, channel frequencies
+// and receiver thresholds.
+//
+// Airtime is the quantity everything else hinges on. The paper's router
+// design works because a 1500-byte frame at 54 Mbps occupies the channel
+// for only a couple of hundred microseconds, so power packets at the
+// highest rate can fill the channel while yielding quickly to anyone else
+// (§3.2's fairness argument, validated in Fig. 8).
+package phy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Rate is an 802.11b/g bit rate.
+type Rate int
+
+// The 802.11b (DSSS) and 802.11g (OFDM) rate sets.
+const (
+	Rate1Mbps  Rate = 1
+	Rate2Mbps  Rate = 2
+	Rate5Mbps  Rate = 5 // 5.5 Mbps DSSS, rounded label
+	Rate11Mbps Rate = 11
+	Rate6Mbps  Rate = 6
+	Rate9Mbps  Rate = 9
+	Rate12Mbps Rate = 12
+	Rate18Mbps Rate = 18
+	Rate24Mbps Rate = 24
+	Rate36Mbps Rate = 36
+	Rate48Mbps Rate = 48
+	Rate54Mbps Rate = 54
+)
+
+// OFDMRates lists the 802.11g rates in ascending order, as used by rate
+// adaptation.
+var OFDMRates = []Rate{Rate6Mbps, Rate9Mbps, Rate12Mbps, Rate18Mbps, Rate24Mbps, Rate36Mbps, Rate48Mbps, Rate54Mbps}
+
+// IsDSSS reports whether the rate uses the 802.11b DSSS PHY (long
+// preamble), as BlindUDP's 1 Mbps power packets do.
+func (r Rate) IsDSSS() bool {
+	switch r {
+	case Rate1Mbps, Rate2Mbps, Rate5Mbps, Rate11Mbps:
+		return true
+	}
+	return false
+}
+
+// Mbps returns the rate in megabits per second.
+func (r Rate) Mbps() float64 {
+	if r == Rate5Mbps {
+		return 5.5
+	}
+	return float64(r)
+}
+
+// String implements fmt.Stringer.
+func (r Rate) String() string { return fmt.Sprintf("%gMbps", r.Mbps()) }
+
+// bitsPerOFDMSymbol returns N_DBPS for an OFDM rate.
+func (r Rate) bitsPerOFDMSymbol() int {
+	switch r {
+	case Rate6Mbps:
+		return 24
+	case Rate9Mbps:
+		return 36
+	case Rate12Mbps:
+		return 48
+	case Rate18Mbps:
+		return 72
+	case Rate24Mbps:
+		return 96
+	case Rate36Mbps:
+		return 144
+	case Rate48Mbps:
+		return 192
+	case Rate54Mbps:
+		return 216
+	}
+	return 0
+}
+
+// 802.11g MAC/PHY timing constants (ERP, 9 µs slots).
+const (
+	// SlotTime is one contention slot.
+	SlotTime = 9 * time.Microsecond
+	// SIFS separates a data frame from its ACK.
+	SIFS = 10 * time.Microsecond
+	// DIFS = SIFS + 2 slots is the idle period sensed before access.
+	DIFS = SIFS + 2*SlotTime
+	// CWMin and CWMax bound the binary-exponential contention window.
+	CWMin = 15
+	CWMax = 1023
+	// MaxRetries is the retry limit before a unicast frame is dropped.
+	MaxRetries = 7
+	// OFDMPreamble covers the 802.11g preamble + SIGNAL field.
+	OFDMPreamble = 20 * time.Microsecond
+	// DSSSPreamble is the 802.11b long preamble + PLCP header.
+	DSSSPreamble = 192 * time.Microsecond
+	// MACOverheadBytes covers the MAC header, LLC/SNAP and FCS carried by
+	// every data frame in addition to its network-layer payload.
+	MACOverheadBytes = 36
+	// ACKBytes is the length of an ACK control frame.
+	ACKBytes = 14
+)
+
+// Airtime returns the on-air duration of a frame of the given total MAC
+// length (including MACOverheadBytes) at the given rate.
+func Airtime(bytes int, r Rate) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if r.IsDSSS() {
+		us := float64(bytes) * 8 / r.Mbps()
+		return DSSSPreamble + time.Duration(us*1000)*time.Nanosecond
+	}
+	ndbps := r.bitsPerOFDMSymbol()
+	if ndbps == 0 {
+		return 0
+	}
+	// 16 service bits + payload + 6 tail bits, ceil to OFDM symbols of 4 µs.
+	bits := 16 + 8*bytes + 6
+	symbols := (bits + ndbps - 1) / ndbps
+	return OFDMPreamble + time.Duration(symbols)*4*time.Microsecond
+}
+
+// AckRate returns the control-response rate used to acknowledge a data
+// frame sent at r: the highest mandatory rate not exceeding r.
+func AckRate(r Rate) Rate {
+	if r.IsDSSS() {
+		return Rate1Mbps
+	}
+	switch {
+	case r >= Rate24Mbps:
+		return Rate24Mbps
+	case r >= Rate12Mbps:
+		return Rate12Mbps
+	default:
+		return Rate6Mbps
+	}
+}
+
+// AckAirtime returns the on-air duration of the ACK for a frame sent at r.
+func AckAirtime(r Rate) time.Duration {
+	return Airtime(ACKBytes, AckRate(r))
+}
+
+// Channel is a 2.4 GHz Wi-Fi channel number.
+type Channel int
+
+// The three non-overlapping 2.4 GHz channels PoWiFi uses.
+const (
+	Channel1  Channel = 1
+	Channel6  Channel = 6
+	Channel11 Channel = 11
+)
+
+// PoWiFiChannels is the channel set the PoWiFi router injects power
+// traffic on.
+var PoWiFiChannels = []Channel{Channel1, Channel6, Channel11}
+
+// FreqHz returns the channel's centre frequency.
+func (c Channel) FreqHz() float64 {
+	return 2.407e9 + float64(c)*5e6
+}
+
+// String implements fmt.Stringer.
+func (c Channel) String() string { return fmt.Sprintf("ch%d", int(c)) }
+
+// Receiver thresholds.
+const (
+	// CSThresholdDBm is the carrier-sense (preamble-detect) threshold: a
+	// station defers to any Wi-Fi signal above this power.
+	CSThresholdDBm = -82.0
+	// CaptureMarginDB is the SIR above which the stronger of two
+	// overlapping frames still decodes (physical-layer capture).
+	CaptureMarginDB = 10.0
+)
+
+// MinSensitivityDBm returns the receiver sensitivity required to decode a
+// frame at the given rate (per typical 802.11g chipset specifications).
+func MinSensitivityDBm(r Rate) float64 {
+	switch r {
+	case Rate1Mbps, Rate2Mbps:
+		return -94
+	case Rate5Mbps, Rate11Mbps:
+		return -88
+	case Rate6Mbps:
+		return -90
+	case Rate9Mbps:
+		return -89
+	case Rate12Mbps:
+		return -87
+	case Rate18Mbps:
+		return -85
+	case Rate24Mbps:
+		return -82
+	case Rate36Mbps:
+		return -78
+	case Rate48Mbps:
+		return -74
+	case Rate54Mbps:
+		return -72
+	}
+	return -72
+}

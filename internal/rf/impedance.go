@@ -1,0 +1,182 @@
+// Package rf provides the analog RF substrate of the PoWiFi simulator:
+// complex impedance arithmetic, single-stage LC matching-network analysis
+// (the paper's §3.1 matching network), S11/return-loss computation (Fig. 9),
+// and indoor radio propagation with antenna gains and wall materials
+// (Figs. 11–13).
+package rf
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Z0 is the reference system impedance in ohms. Wi-Fi antennas, like the
+// 2 dBi Pulse antenna used by the paper's prototypes, present 50 Ω.
+const Z0 = 50.0
+
+// Impedance is a complex impedance in ohms (resistance + j·reactance).
+type Impedance = complex128
+
+// InductorImpedance returns the impedance j·ω·L of an ideal inductor of
+// L henries at freqHz, plus an optional series loss resistance derived
+// from the quality factor q (q <= 0 means lossless). The paper's 0402HP
+// inductors have Q ≈ 100 at 2.45 GHz.
+func InductorImpedance(l, freqHz, q float64) Impedance {
+	xl := 2 * math.Pi * freqHz * l
+	r := 0.0
+	if q > 0 {
+		r = xl / q
+	}
+	return complex(r, xl)
+}
+
+// CapacitorImpedance returns the impedance 1/(j·ω·C) of an ideal capacitor
+// of C farads at freqHz, plus an optional equivalent series resistance from
+// the quality factor q (q <= 0 means lossless).
+func CapacitorImpedance(c, freqHz, q float64) Impedance {
+	xc := 1 / (2 * math.Pi * freqHz * c)
+	r := 0.0
+	if q > 0 {
+		r = xc / q
+	}
+	return complex(r, -xc)
+}
+
+// Parallel combines two impedances in parallel.
+func Parallel(a, b Impedance) Impedance {
+	den := a + b
+	if den == 0 {
+		return complex(math.Inf(1), 0)
+	}
+	return a * b / den
+}
+
+// ReflectionCoefficient returns Γ = (Z − Z0)/(Z + Z0) of a load Z against
+// the reference impedance z0.
+func ReflectionCoefficient(z Impedance, z0 float64) complex128 {
+	return (z - complex(z0, 0)) / (z + complex(z0, 0))
+}
+
+// ReturnLossDB returns the return loss in dB of a load Z against z0, using
+// the paper's sign convention (Fig. 9): 20·log10|Γ|, a negative number for
+// any passive load, with more negative meaning better matched.
+func ReturnLossDB(z Impedance, z0 float64) float64 {
+	g := cmplx.Abs(ReflectionCoefficient(z, z0))
+	if g <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(g)
+}
+
+// MismatchLossFraction returns the fraction of incident power delivered to
+// the load (1 − |Γ|²). A −10 dB return loss delivers 90% of incident power,
+// which the paper calls "less than 0.5 dB of lost power".
+func MismatchLossFraction(z Impedance, z0 float64) float64 {
+	g := cmplx.Abs(ReflectionCoefficient(z, z0))
+	return 1 - g*g
+}
+
+// MatchingNetwork is a two-port impedance-matching network between a 50 Ω
+// antenna and the rectifier load.
+type MatchingNetwork interface {
+	// InputImpedance returns the impedance seen from the antenna when the
+	// rectifier presents zLoad at freqHz.
+	InputImpedance(zLoad Impedance, freqHz float64) Impedance
+	// ReturnLossDB returns the match quality against Z0 at freqHz.
+	ReturnLossDB(zLoad Impedance, freqHz float64) float64
+	// PowerTransferFraction returns the fraction of antenna-incident
+	// power that reaches the rectifier load at freqHz.
+	PowerTransferFraction(zLoad Impedance, freqHz float64) float64
+}
+
+// LSection is a low-pass single-stage LC matching network: a shunt
+// capacitor across the antenna port followed by a series inductor into the
+// rectifier. This orientation suits loads whose series-equivalent
+// resistance sits below 50 Ω.
+type LSection struct {
+	SeriesL    float64 // henries, in series with the rectifier
+	ShuntC     float64 // farads, across the antenna port
+	InductorQ  float64 // quality factor of the inductor (≈100 at 2.45 GHz)
+	CapacitorQ float64 // quality factor of the capacitor (0 = lossless)
+}
+
+// InputImpedance returns the impedance seen looking into the network from
+// the antenna side when the rectifier presents load zLoad at freqHz:
+// Zc ∥ (Zl + Zload).
+func (n LSection) InputImpedance(zLoad Impedance, freqHz float64) Impedance {
+	zc := CapacitorImpedance(n.ShuntC, freqHz, n.CapacitorQ)
+	series := InductorImpedance(n.SeriesL, freqHz, n.InductorQ) + zLoad
+	return Parallel(zc, series)
+}
+
+// ReturnLossDB returns the network's return loss against Z0 for the given
+// rectifier load at freqHz.
+func (n LSection) ReturnLossDB(zLoad Impedance, freqHz float64) float64 {
+	return ReturnLossDB(n.InputImpedance(zLoad, freqHz), Z0)
+}
+
+// PowerTransferFraction returns the fraction of antenna-incident power that
+// reaches the rectifier load: the mismatch-accepted fraction times the
+// dissipative efficiency of the series branch (power divides between the
+// inductor ESR and the load in proportion to their resistances; the shunt
+// capacitor is nearly lossless).
+func (n LSection) PowerTransferFraction(zLoad Impedance, freqHz float64) float64 {
+	zin := n.InputImpedance(zLoad, freqHz)
+	accepted := MismatchLossFraction(zin, Z0)
+	zl := InductorImpedance(n.SeriesL, freqHz, n.InductorQ)
+	rl := real(zl)
+	rs := real(zLoad)
+	if rl+rs <= 0 {
+		return 0
+	}
+	eff := rs / (rl + rs)
+	if accepted < 0 {
+		accepted = 0
+	}
+	return accepted * eff
+}
+
+// HighPassLSection is the paper's single-stage LC matching network in its
+// high-pass orientation (Fig. 4): a series capacitor CT from the antenna
+// into the rectifier node, with a shunt inductor LT from that node to
+// ground. The shunt inductor both resonates out the rectifier's junction
+// and pad capacitance and provides the doubler's DC return path; the
+// series capacitor completes the transformation of the rectifier's
+// kilohm-level input resistance down to 50 Ω. The paper's prototypes use a
+// 6.8 nH Coilcraft 0402HP inductor (Q ≈ 100 at 2.45 GHz).
+type HighPassLSection struct {
+	SeriesC    float64 // farads, antenna side
+	ShuntL     float64 // henries, across the rectifier input
+	InductorQ  float64 // inductor quality factor
+	CapacitorQ float64 // capacitor quality factor (0 = lossless)
+}
+
+// InputImpedance implements MatchingNetwork: Zc + (Zl ∥ Zload).
+func (n HighPassLSection) InputImpedance(zLoad Impedance, freqHz float64) Impedance {
+	zl := InductorImpedance(n.ShuntL, freqHz, n.InductorQ)
+	zc := CapacitorImpedance(n.SeriesC, freqHz, n.CapacitorQ)
+	return zc + Parallel(zl, zLoad)
+}
+
+// ReturnLossDB implements MatchingNetwork.
+func (n HighPassLSection) ReturnLossDB(zLoad Impedance, freqHz float64) float64 {
+	return ReturnLossDB(n.InputImpedance(zLoad, freqHz), Z0)
+}
+
+// PowerTransferFraction implements MatchingNetwork. Power accepted past
+// the mismatch divides between the shunt inductor's ESR and the rectifier
+// in proportion to their conductances.
+func (n HighPassLSection) PowerTransferFraction(zLoad Impedance, freqHz float64) float64 {
+	zin := n.InputImpedance(zLoad, freqHz)
+	accepted := MismatchLossFraction(zin, Z0)
+	if accepted < 0 {
+		accepted = 0
+	}
+	zl := InductorImpedance(n.ShuntL, freqHz, n.InductorQ)
+	gl := real(1 / zl)
+	gload := real(1 / zLoad)
+	if gl+gload <= 0 {
+		return 0
+	}
+	return accepted * gload / (gl + gload)
+}

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestMeanBasics(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v, want 4", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of singleton should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v, want -1/7", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be +Inf/-Inf")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %v, want 10", got)
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Errorf("Quantile(1) = %v, want 50", got)
+	}
+	if got := c.Quantile(0.5); got != 30 {
+		t.Errorf("median = %v, want 30", got)
+	}
+	if got := c.Quantile(0.25); got != 20 {
+		t.Errorf("Quantile(0.25) = %v, want 20", got)
+	}
+}
+
+func TestCDFEmptyQuantileIsNaN(t *testing.T) {
+	c := NewCDF(nil)
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Error("quantile of empty CDF should be NaN")
+	}
+	if c.At(3) != 0 {
+		t.Error("At on empty CDF should be 0")
+	}
+}
+
+func TestCDFAtIsMonotone(t *testing.T) {
+	// Property: CDF is non-decreasing.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.Normal(0, 10)
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for x := -30.0; x <= 30; x += 0.5 {
+			v := c.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFQuantileIsMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		xs := make([]float64, 40)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		c := NewCDF(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := c.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	c := NewCDF(xs)
+	xs[0] = 999
+	if c.Quantile(1) == 999 {
+		t.Error("CDF aliased caller slice")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points, want 5", len(pts))
+	}
+	last := pts[len(pts)-1]
+	if last.X != 10 || last.Y != 1 {
+		t.Errorf("final point = %+v, want (10, 1)", last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Error("points not monotone")
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bin %d count = %d, want 1", i, c)
+		}
+	}
+	u, o := h.OutOfRange()
+	if u != 1 || o != 1 {
+		t.Errorf("out of range = %d/%d, want 1/1", u, o)
+	}
+	if h.N() != 12 {
+		t.Errorf("N = %d, want 12", h.N())
+	}
+}
+
+func TestHistogramEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	h.Add(math.Nextafter(1, 0)) // just below hi must land in last bin
+	if h.Counts[2] != 1 {
+		t.Errorf("edge sample not in last bin: %v", h.Counts)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for hi <= lo")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestTimeSeriesBinning(t *testing.T) {
+	ts := NewTimeSeries(60, 3600)
+	if ts.NumBins() != 60 {
+		t.Fatalf("NumBins = %d, want 60", ts.NumBins())
+	}
+	ts.Add(30, 10)
+	ts.Add(45, 20)
+	ts.Add(61, 5)
+	if v, ok := ts.Bin(0); !ok || v != 15 {
+		t.Errorf("bin 0 = %v,%v, want 15,true", v, ok)
+	}
+	if v, ok := ts.Bin(1); !ok || v != 5 {
+		t.Errorf("bin 1 = %v,%v, want 5,true", v, ok)
+	}
+	if _, ok := ts.Bin(2); ok {
+		t.Error("bin 2 should be empty")
+	}
+}
+
+func TestTimeSeriesIgnoresOutOfRange(t *testing.T) {
+	ts := NewTimeSeries(60, 120)
+	ts.Add(-5, 1)
+	ts.Add(500, 1)
+	for i := 0; i < ts.NumBins(); i++ {
+		if _, ok := ts.Bin(i); ok {
+			t.Error("out-of-range sample was recorded")
+		}
+	}
+}
+
+func TestTimeSeriesMeanOfNonEmpty(t *testing.T) {
+	ts := NewTimeSeries(1, 10)
+	ts.Add(0.5, 4)
+	ts.Add(5.5, 8)
+	if got := ts.MeanOfNonEmpty(); got != 6 {
+		t.Errorf("MeanOfNonEmpty = %v, want 6", got)
+	}
+	empty := NewTimeSeries(1, 10)
+	if empty.MeanOfNonEmpty() != 0 {
+		t.Error("MeanOfNonEmpty on empty series should be 0")
+	}
+}
+
+func TestTimeSeriesValuesLength(t *testing.T) {
+	ts := NewTimeSeries(60, 86400)
+	vals := ts.Values()
+	if len(vals) != 1440 {
+		t.Errorf("Values length = %d, want 1440", len(vals))
+	}
+}

@@ -1,0 +1,127 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netstack"
+	"repro/internal/phy"
+	"repro/internal/router"
+)
+
+func TestBenchTopology(t *testing.T) {
+	b := NewBench(BenchConfig{Scheme: router.PoWiFi, BackgroundLoad: 0.2, Seed: 1})
+	if len(b.Channels) != 3 {
+		t.Fatalf("channels = %d, want 3", len(b.Channels))
+	}
+	if b.Router.Radio(phy.Channel1) == nil {
+		t.Fatal("no channel-1 radio")
+	}
+	if len(b.Backgrounds) != 3 {
+		t.Errorf("backgrounds = %d, want 3 (one per channel)", len(b.Backgrounds))
+	}
+	// Client sits 7 feet (2.13 m) from the router by default.
+	d := b.Client.MAC.Location().DistanceTo(b.RouterRadio().Location())
+	if d < 2.1 || d > 2.2 {
+		t.Errorf("client distance = %v m, want about 2.13", d)
+	}
+}
+
+func TestUDPDownlinkDelivers(t *testing.T) {
+	b := NewBench(BenchConfig{Scheme: router.Baseline, Seed: 2})
+	sink := &netstack.UDPSink{Sched: b.Sched}
+	src := &netstack.UDPSource{
+		Sched: b.Sched, Path: b.DownlinkPath(), Sink: sink,
+		PayloadBytes: 1500, RateMbps: 10,
+	}
+	b.Start()
+	src.Start()
+	b.Sched.RunUntil(2 * time.Second)
+	got := sink.ThroughputMbps(0, 2*time.Second)
+	if got < 9.0 || got > 10.5 {
+		t.Errorf("UDP downlink throughput = %.2f Mbps, want about 10", got)
+	}
+	// One-way delay includes the 10 ms wired hop.
+	if sink.MeanDelay() < 10*time.Millisecond {
+		t.Errorf("mean delay = %v, must include the wired hop", sink.MeanDelay())
+	}
+}
+
+func TestTCPOverWirelessReachesRealisticRate(t *testing.T) {
+	b := NewBench(BenchConfig{Scheme: router.Baseline, Seed: 3})
+	snd := &netstack.TCPSender{Sched: b.Sched}
+	rcv := &netstack.TCPReceiver{Sched: b.Sched}
+	netstack.Connect(snd, rcv, b.DownlinkPath(), b.UplinkPath())
+	b.Start()
+	snd.Start()
+	b.Sched.RunUntil(4 * time.Second)
+	got := snd.ThroughputMbps()
+	// 802.11g TCP on a clean channel reaches ~15-25 Mbps.
+	if got < 12 || got > 30 {
+		t.Errorf("TCP throughput = %.2f Mbps, want 12-30", got)
+	}
+}
+
+func TestPoWiFiDoesNotHurtClientUDP(t *testing.T) {
+	// The headline Fig. 6a property as an integration test.
+	measure := func(scheme router.Scheme) float64 {
+		b := NewBench(BenchConfig{Scheme: scheme, BackgroundLoad: 0.2, Seed: 4})
+		sink := &netstack.UDPSink{Sched: b.Sched}
+		src := &netstack.UDPSource{
+			Sched: b.Sched, Path: b.DownlinkPath(), Sink: sink,
+			PayloadBytes: 1500, RateMbps: 15,
+		}
+		b.Start()
+		src.Start()
+		b.Sched.RunUntil(2 * time.Second)
+		return sink.ThroughputMbps(0, 2*time.Second)
+	}
+	baseline := measure(router.Baseline)
+	powifi := measure(router.PoWiFi)
+	blind := measure(router.BlindUDP)
+	if powifi < baseline*0.9 {
+		t.Errorf("PoWiFi throughput %.2f fell below 90%% of baseline %.2f", powifi, baseline)
+	}
+	if blind > baseline*0.25 {
+		t.Errorf("BlindUDP throughput %.2f did not collapse (baseline %.2f)", blind, baseline)
+	}
+}
+
+func TestNoQueueRoughlyHalvesSaturatedUDP(t *testing.T) {
+	measure := func(scheme router.Scheme) float64 {
+		b := NewBench(BenchConfig{Scheme: scheme, BackgroundLoad: 0.2, Seed: 5})
+		sink := &netstack.UDPSink{Sched: b.Sched}
+		src := &netstack.UDPSource{
+			Sched: b.Sched, Path: b.DownlinkPath(), Sink: sink,
+			PayloadBytes: 1500, RateMbps: 40, // beyond capacity
+		}
+		b.Start()
+		src.Start()
+		b.Sched.RunUntil(2 * time.Second)
+		return sink.ThroughputMbps(0, 2*time.Second)
+	}
+	baseline := measure(router.Baseline)
+	noqueue := measure(router.NoQueue)
+	ratio := noqueue / baseline
+	if ratio < 0.35 || ratio > 0.75 {
+		t.Errorf("NoQueue/baseline = %.2f, want roughly one half", ratio)
+	}
+}
+
+func TestUplinkForwardsToWired(t *testing.T) {
+	b := NewBench(BenchConfig{Scheme: router.Baseline, Seed: 6})
+	sink := &netstack.UDPSink{Sched: b.Sched}
+	up := b.UplinkPath()
+	b.Start()
+	for i := 0; i < 10; i++ {
+		p := &netstack.Packet{Dst: sink, Bytes: 100, Seq: i, Sent: b.Sched.Now()}
+		up.Send(p)
+	}
+	b.Sched.RunUntil(time.Second)
+	if sink.Received() != 10 {
+		t.Errorf("uplink delivered %d of 10", sink.Received())
+	}
+	if sink.MeanDelay() < b.WiredLatency {
+		t.Errorf("uplink delay %v below wired latency", sink.MeanDelay())
+	}
+}

@@ -1,0 +1,165 @@
+package traffic
+
+import (
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/netstack"
+	"repro/internal/xrand"
+)
+
+// Site is a website front-page profile used by the page-load-time harness
+// (Fig. 6c): the number and sizes of the objects the browser fetches.
+type Site struct {
+	Name string
+	// Objects are the payload sizes in bytes, in discovery order (the
+	// first is the HTML document; the rest unlock after it arrives).
+	Objects []int
+}
+
+// TopSites returns profiles of the ten most popular U.S. websites the
+// paper loads with PhantomJS [3], in the order of Fig. 6c's x-axis.
+// Object counts and total page weights approximate the 2015-era front
+// pages (HTTP Archive medians); absolute PLTs depend on these profiles,
+// but the scheme ordering Fig. 6c demonstrates does not.
+func TopSites() []Site {
+	gen := func(name string, html int, objects, objSize int) Site {
+		s := Site{Name: name, Objects: []int{html}}
+		rng := xrand.NewFromLabel(2015, "site/"+name)
+		for i := 0; i < objects; i++ {
+			// Log-normal-ish spread around the mean object size.
+			size := int(float64(objSize) * (0.3 + 1.4*rng.Float64()))
+			s.Objects = append(s.Objects, size)
+		}
+		return s
+	}
+	return []Site{
+		gen("reddit.com", 120_000, 50, 22_000),
+		gen("twitter.com", 180_000, 40, 30_000),
+		gen("yahoo.com", 300_000, 90, 24_000),
+		gen("youtube.com", 250_000, 60, 28_000),
+		gen("wikipedia.org", 70_000, 15, 12_000),
+		gen("linkedin.com", 150_000, 45, 20_000),
+		gen("google.com", 60_000, 12, 18_000),
+		gen("facebook.com", 200_000, 55, 25_000),
+		gen("amazon.com", 280_000, 80, 22_000),
+		gen("ebay.com", 220_000, 65, 20_000),
+	}
+}
+
+// PageLoader fetches one page the way a 2015 headless browser does: the
+// HTML document first, then the remaining objects over up to MaxConns
+// parallel persistent connections.
+type PageLoader struct {
+	Sched *eventsim.Scheduler
+	// Down builds a fresh data path per connection (server → client).
+	Down netstack.Path
+	// Up carries requests and ACKs (client → server).
+	Up netstack.Path
+	// MaxConns is the browser's per-host connection limit (6).
+	MaxConns int
+	// ServerThink is the mean server response latency per object.
+	ServerThink time.Duration
+	// OnComplete receives the page-load time.
+	OnComplete func(plt time.Duration)
+
+	rng       *xrand.Rand
+	site      Site
+	started   time.Duration
+	nextObj   int
+	remaining int
+}
+
+// NewPageLoader prepares a loader for one page visit.
+func NewPageLoader(sched *eventsim.Scheduler, site Site, down, up netstack.Path, rng *xrand.Rand) *PageLoader {
+	return &PageLoader{
+		Sched:       sched,
+		Down:        down,
+		Up:          up,
+		MaxConns:    6,
+		ServerThink: 30 * time.Millisecond,
+		rng:         rng,
+		site:        site,
+	}
+}
+
+// Start begins the page load.
+func (p *PageLoader) Start() {
+	p.started = p.Sched.Now()
+	p.remaining = len(p.site.Objects)
+	p.nextObj = 1
+	// The HTML document loads first, alone.
+	p.fetch(p.site.Objects[0], func() {
+		// Subresources are discovered; open the parallel connections.
+		conns := p.MaxConns
+		if conns > len(p.site.Objects)-1 {
+			conns = len(p.site.Objects) - 1
+		}
+		for i := 0; i < conns; i++ {
+			p.fetchNext()
+		}
+	})
+}
+
+// fetchNext pulls the next undelivered object, if any.
+func (p *PageLoader) fetchNext() {
+	if p.nextObj >= len(p.site.Objects) {
+		return
+	}
+	size := p.site.Objects[p.nextObj]
+	p.nextObj++
+	p.fetch(size, p.fetchNext)
+}
+
+// fetch requests one object and streams it over a TCP transfer: a request
+// packet rides the uplink; after the server think time the response body
+// streams down; done fires when fully acknowledged.
+func (p *PageLoader) fetch(size int, done func()) {
+	snd := &netstack.TCPSender{Sched: p.Sched, TotalBytes: size}
+	rcv := &netstack.TCPReceiver{Sched: p.Sched}
+	netstack.Connect(snd, rcv, p.Down, p.Up)
+	snd.OnComplete = func() {
+		p.remaining--
+		if p.remaining == 0 {
+			if p.OnComplete != nil {
+				p.OnComplete(p.Sched.Now() - p.started)
+			}
+			return
+		}
+		done()
+	}
+	// Request: one small uplink packet to a server-side endpoint that
+	// starts the response after think time. Browsers retry silently if a
+	// request is lost (here: uplink queue overflow), so the loader
+	// re-sends until the response begins.
+	started := false
+	req := &netstack.Packet{
+		Dst: requestEndpoint{start: func() {
+			if started {
+				return
+			}
+			started = true
+			think := time.Duration(p.rng.Exp(float64(p.ServerThink)))
+			p.Sched.After(think, snd.Start)
+		}},
+		Bytes: 300,
+		Sent:  p.Sched.Now(),
+	}
+	var attempt func()
+	attempt = func() {
+		if started {
+			return
+		}
+		p.Up.Send(req)
+		p.Sched.After(2*time.Second, attempt)
+	}
+	attempt()
+}
+
+// requestEndpoint triggers the server response when the request arrives.
+type requestEndpoint struct {
+	start func()
+}
+
+// Deliver implements netstack.Endpoint.
+func (r requestEndpoint) Deliver(pkt *netstack.Packet) { r.start() }

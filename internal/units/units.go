@@ -1,0 +1,71 @@
+// Package units provides the physical-unit conversions used throughout the
+// PoWiFi simulator: logarithmic power (dBm/dB) versus linear power (mW/W),
+// distances (feet/metres), and 2.4 GHz ISM-band frequency helpers.
+//
+// All power arithmetic in the RF, propagation and harvesting code flows
+// through this package so that dB-domain and linear-domain quantities are
+// never mixed by accident.
+package units
+
+import "math"
+
+// SpeedOfLight is the propagation speed of radio waves in m/s.
+const SpeedOfLight = 299792458.0
+
+// MetersPerFoot converts feet to metres.
+const MetersPerFoot = 0.3048
+
+// DBmToMilliwatts converts a power level in dBm to milliwatts.
+func DBmToMilliwatts(dbm float64) float64 {
+	return math.Pow(10, dbm/10)
+}
+
+// MilliwattsToDBm converts a power level in milliwatts to dBm.
+// A non-positive input returns -Inf, the dB-domain representation of
+// zero power.
+func MilliwattsToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// DBmToWatts converts a power level in dBm to watts.
+func DBmToWatts(dbm float64) float64 {
+	return DBmToMilliwatts(dbm) / 1000
+}
+
+// WattsToDBm converts a power level in watts to dBm.
+func WattsToDBm(w float64) float64 {
+	return MilliwattsToDBm(w * 1000)
+}
+
+// DBToLinear converts a gain/loss ratio in dB to a linear ratio.
+func DBToLinear(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// LinearToDB converts a linear power ratio to dB. A non-positive ratio
+// returns -Inf.
+func LinearToDB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// FeetToMeters converts a distance in feet to metres.
+func FeetToMeters(ft float64) float64 { return ft * MetersPerFoot }
+
+// MetersToFeet converts a distance in metres to feet.
+func MetersToFeet(m float64) float64 { return m / MetersPerFoot }
+
+// Wavelength returns the free-space wavelength in metres of a carrier at
+// freqHz.
+func Wavelength(freqHz float64) float64 { return SpeedOfLight / freqHz }
+
+// MicroJoules converts joules to microjoules.
+func MicroJoules(j float64) float64 { return j * 1e6 }
+
+// Microwatts converts watts to microwatts.
+func Microwatts(w float64) float64 { return w * 1e6 }

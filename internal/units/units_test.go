@@ -1,0 +1,128 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDBmToMilliwattsKnownPoints(t *testing.T) {
+	cases := []struct {
+		dbm, mw float64
+	}{
+		{0, 1},
+		{10, 10},
+		{20, 100},
+		{30, 1000},
+		{-10, 0.1},
+		{-30, 0.001},
+		{3, 1.9952623},
+	}
+	for _, c := range cases {
+		got := DBmToMilliwatts(c.dbm)
+		if !almostEqual(got, c.mw, 1e-6*c.mw+1e-12) {
+			t.Errorf("DBmToMilliwatts(%v) = %v, want %v", c.dbm, got, c.mw)
+		}
+	}
+}
+
+func TestMilliwattsToDBmKnownPoints(t *testing.T) {
+	if got := MilliwattsToDBm(1); !almostEqual(got, 0, 1e-9) {
+		t.Errorf("MilliwattsToDBm(1) = %v, want 0", got)
+	}
+	if got := MilliwattsToDBm(1000); !almostEqual(got, 30, 1e-9) {
+		t.Errorf("MilliwattsToDBm(1000) = %v, want 30", got)
+	}
+}
+
+func TestMilliwattsToDBmZeroIsNegInf(t *testing.T) {
+	if got := MilliwattsToDBm(0); !math.IsInf(got, -1) {
+		t.Errorf("MilliwattsToDBm(0) = %v, want -Inf", got)
+	}
+	if got := MilliwattsToDBm(-5); !math.IsInf(got, -1) {
+		t.Errorf("MilliwattsToDBm(-5) = %v, want -Inf", got)
+	}
+}
+
+func TestDBmMilliwattsRoundTrip(t *testing.T) {
+	f := func(dbm float64) bool {
+		// Constrain to a physically sensible range to avoid overflow.
+		dbm = math.Mod(dbm, 120)
+		back := MilliwattsToDBm(DBmToMilliwatts(dbm))
+		return almostEqual(back, dbm, 1e-9*math.Abs(dbm)+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBLinearRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		db = math.Mod(db, 200)
+		back := LinearToDB(DBToLinear(db))
+		return almostEqual(back, db, 1e-9*math.Abs(db)+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWattsDBmConsistency(t *testing.T) {
+	// 1 W == 30 dBm.
+	if got := WattsToDBm(1); !almostEqual(got, 30, 1e-9) {
+		t.Errorf("WattsToDBm(1) = %v, want 30", got)
+	}
+	if got := DBmToWatts(30); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("DBmToWatts(30) = %v, want 1", got)
+	}
+}
+
+func TestFeetMeters(t *testing.T) {
+	if got := FeetToMeters(10); !almostEqual(got, 3.048, 1e-9) {
+		t.Errorf("FeetToMeters(10) = %v, want 3.048", got)
+	}
+	f := func(ft float64) bool {
+		ft = math.Mod(ft, 1e6)
+		return almostEqual(MetersToFeet(FeetToMeters(ft)), ft, 1e-9*math.Abs(ft)+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWavelength24GHz(t *testing.T) {
+	// 2.437 GHz (channel 6) has a wavelength of about 12.3 cm.
+	got := Wavelength(2.437e9)
+	if !almostEqual(got, 0.12302, 1e-4) {
+		t.Errorf("Wavelength(2.437 GHz) = %v, want about 0.123", got)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// More dBm means strictly more milliwatts.
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 100)
+		b = math.Mod(b, 100)
+		if a == b {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return DBmToMilliwatts(lo) < DBmToMilliwatts(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMicroHelpers(t *testing.T) {
+	if got := MicroJoules(2.77e-6); !almostEqual(got, 2.77, 1e-9) {
+		t.Errorf("MicroJoules(2.77e-6) = %v, want 2.77", got)
+	}
+	if got := Microwatts(1e-6); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("Microwatts(1e-6) = %v, want 1", got)
+	}
+}

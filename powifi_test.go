@@ -1,0 +1,45 @@
+package powifi_test
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	powifi "repro"
+)
+
+func TestExperimentsListed(t *testing.T) {
+	ids := powifi.Experiments()
+	if len(ids) < 16 {
+		t.Fatalf("only %d experiments exposed", len(ids))
+	}
+	found := map[string]bool{}
+	for _, id := range ids {
+		found[id] = true
+	}
+	for _, id := range []string{"fig1", "fig6a", "fig10", "table1"} {
+		if !found[id] {
+			t.Errorf("experiment %s missing from the facade", id)
+		}
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	var buf bytes.Buffer
+	if !powifi.RunExperiment("table1", &buf, true) {
+		t.Fatal("table1 runner missing")
+	}
+	if !strings.Contains(buf.String(), "Neighboring APs") {
+		t.Errorf("unexpected table1 output: %q", buf.String())
+	}
+	if powifi.RunExperiment("not-an-experiment", io.Discard, true) {
+		t.Error("unknown id should return false")
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if powifi.Version == "" {
+		t.Error("version should be set")
+	}
+}
