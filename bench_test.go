@@ -5,11 +5,13 @@
 package powifi_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"repro/internal/deploy"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/harvester"
 	"repro/internal/phy"
 	"repro/internal/stats"
@@ -163,6 +165,34 @@ func BenchmarkTable1HomeSummary(b *testing.B) {
 		if len(res.Homes) != 6 {
 			b.Fatal("wrong home count")
 		}
+	}
+}
+
+// BenchmarkFleet runs a small fleet at several worker counts. The homes
+// are independent discrete-event simulations, so on multicore hardware
+// the sharded path should approach linear speedup over workers=1 (the
+// serial path); results are bit-for-bit identical either way.
+func BenchmarkFleet(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := fleet.Config{
+				Homes:    16,
+				Seed:     42,
+				Workers:  workers,
+				Hours:    2,
+				BinWidth: 30 * time.Minute,
+				Window:   2 * time.Millisecond,
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalBins == 0 {
+					b.Fatal("fleet logged no bins")
+				}
+			}
+		})
 	}
 }
 

@@ -15,15 +15,24 @@
 // (internal/deploy), and one runner per paper table/figure
 // (internal/experiments).
 //
+// Beyond the paper's six-home study, internal/fleet scales deployment
+// to synthesized populations of thousands of homes: household
+// parameters are drawn from distributions, each home runs the same
+// single-home runner as the §6 reproduction on its own event kernel,
+// and the per-home logs stream into mergeable aggregates
+// (internal/stats) sharded across workers. Results are bit-for-bit
+// identical at any worker count; see RunFleet and cmd/powifi-fleet.
+//
 // Entry points:
 //
 //	cmd/powifi-bench    regenerate any table or figure
 //	cmd/powifi-router   standalone router/occupancy exploration
 //	cmd/powifi-harvest  harvester characterization sweeps
-//	examples/           five runnable scenarios
+//	cmd/powifi-fleet    fleet-scale deployment study
+//	examples/           six runnable scenarios
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-versus-measured results.
+// See DESIGN.md for the system inventory, the deployment-sampling
+// substitution, and the fleet layer's exact-sharding design.
 package powifi
 
 import (

@@ -1,0 +1,32 @@
+package powifi
+
+import "repro/internal/fleet"
+
+// FleetConfig parameterizes a fleet-scale deployment run; see
+// fleet.Config for field semantics. It is re-exported, along with
+// FleetPopulation and the default constructors, so facade users need
+// not import the internal package path directly.
+type FleetConfig = fleet.Config
+
+// FleetPopulation describes the household distributions a fleet's
+// homes are drawn from.
+type FleetPopulation = fleet.Population
+
+// FleetResult holds the mergeable fleet-level aggregates of a run.
+type FleetResult = fleet.Result
+
+// DefaultFleetConfig returns a 1000-home, 24-hour fleet run.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// DefaultFleetPopulation returns the mixed urban/suburban household
+// population anchored on Table 1's observed ranges.
+func DefaultFleetPopulation() FleetPopulation { return fleet.DefaultPopulation() }
+
+// RunFleet scales the §6 six-home deployment study to a synthesized
+// population: cfg.Homes independent single-home simulations sharded
+// across cfg.Workers workers and reduced to population aggregates
+// (occupancy CDFs, harvested-power distributions, sensor latency
+// tails). Results are bit-for-bit identical at any worker count.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	return fleet.Run(cfg)
+}

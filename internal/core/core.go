@@ -147,11 +147,23 @@ func (d *TempSensorDevice) NetHarvestedW(link PowerLink) float64 {
 // link (Fig. 11's y-axis). Battery-free devices additionally require the
 // harvester to clear its cold-start threshold.
 func (d *TempSensorDevice) UpdateRate(link PowerLink) float64 {
+	rate, _ := d.Evaluate(link)
+	return rate
+}
+
+// Evaluate returns the sensor's update rate and net harvested power
+// over the link from a single operating-point solve. The rectifier
+// solve dominates per-bin cost in deployment and fleet runs, so the
+// hot path must not pay for it twice — and a device that cannot clear
+// cold-start banks nothing, so the cheap boot check short-circuits the
+// solve entirely with (0, 0).
+func (d *TempSensorDevice) Evaluate(link PowerLink) (rateHz, netW float64) {
 	chans, occ := link.FullChannelPowers()
 	if !d.Harvester.CanBootBursty(chans, occ) {
-		return 0
+		return 0, 0
 	}
-	return d.Sensor.UpdateRate(d.NetHarvestedW(link))
+	netW = d.Harvester.BurstyOperating(chans, occ).HarvestedW
+	return d.Sensor.UpdateRate(netW), netW
 }
 
 // CameraDevice is a complete Wi-Fi-powered camera (§5.2). Both camera

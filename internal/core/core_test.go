@@ -64,6 +64,9 @@ func TestWallReducesIncidentPower(t *testing.T) {
 }
 
 func TestTempSensorRangesMatchPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: range search sweeps hundreds of rectifier solves")
+	}
 	// Fig. 11: battery-free operates to about 20 ft, battery-recharging
 	// to about 28 ft at 91.3% cumulative occupancy. Allow the simulator
 	// a ±25% band while requiring the ordering.
@@ -108,6 +111,9 @@ func TestRechargingBeatsBatteryFreeBeyond15ft(t *testing.T) {
 }
 
 func TestCameraRangesMatchPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: range search sweeps hundreds of rectifier solves")
+	}
 	// Fig. 12: battery-free to about 17 ft, recharging to about 23 ft.
 	cbf := NewBatteryFreeCamera()
 	cbc := NewRechargingCamera()
@@ -190,6 +196,9 @@ func TestOutOfRangeLinkYieldsZero(t *testing.T) {
 }
 
 func TestTransientSensorAgreesWithAnalyticRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: multi-second transient simulation")
+	}
 	// The stepped charge/release simulation and the analytic power-balance
 	// model must agree on the update rate at steady state (within 2x: the
 	// transient pays real boot and release overheads).
@@ -212,6 +221,9 @@ func TestTransientSensorAgreesWithAnalyticRate(t *testing.T) {
 }
 
 func TestTransientSensorSilentOutOfRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: transient simulation")
+	}
 	link := PoWiFiLink(30, 0.913)
 	res := SimulateBatteryFreeSensor(link, time.Second, 7)
 	if res.Reads != 0 {
@@ -220,6 +232,9 @@ func TestTransientSensorSilentOutOfRange(t *testing.T) {
 }
 
 func TestTransientSensorDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: two transient simulations")
+	}
 	link := PoWiFiLink(8, 0.913)
 	a := SimulateBatteryFreeSensor(link, time.Second, 9)
 	b := SimulateBatteryFreeSensor(link, time.Second, 9)

@@ -81,6 +81,15 @@ func DefaultOptions() Options {
 	}
 }
 
+// NumBins returns the number of whole logging bins the deployment
+// spans — the single source of truth for every layer that needs it.
+// The epsilon absorbs float rounding when Hours was itself derived
+// from a bin count (the fleet layer's duration snapping), so a
+// snapped duration always round-trips to the same bin count.
+func (o Options) NumBins() int {
+	return int(o.Hours*float64(time.Hour)/float64(o.BinWidth) + 1e-9)
+}
+
 // Result is one home's deployment log.
 type Result struct {
 	Home     HomeConfig
@@ -141,18 +150,64 @@ func activity(hour float64, weekend bool) float64 {
 	return a
 }
 
-// Run simulates one home deployment.
+// BinSample is one logging-bin observation from a single-home run: the
+// router's per-channel occupancy over the bin's packet-level sample
+// window and the derived sensor-side quantities at the configured
+// distance.
+type BinSample struct {
+	// Bin is the bin index, starting at 0.
+	Bin int
+	// HourOfDay is the bin's local time.
+	HourOfDay float64
+	// Occupancy holds per-channel airtime fractions in [0, 1].
+	Occupancy map[phy.Channel]float64
+	// CumulativePct is the percentage sum across channels (may exceed 100).
+	CumulativePct float64
+	// SensorRate is the battery-free temperature sensor's update rate
+	// (reads/s); 0 when the sensor cannot boot.
+	SensorRate float64
+	// NetHarvestedW is the sensor harvester's net harvested power (W)
+	// under this bin's occupancy: 0 when the sensor cannot clear its
+	// cold-start threshold, and possibly negative below sensitivity.
+	NetHarvestedW float64
+}
+
+// Run simulates one home deployment and materializes the full per-bin
+// log. It is a thin accumulator over RunStream.
 func Run(cfg HomeConfig, opts Options) *Result {
 	if opts.BinWidth == 0 {
 		opts = DefaultOptions()
 	}
-	nBins := int(opts.Hours * float64(time.Hour) / float64(opts.BinWidth))
+	nBins := opts.NumBins()
 	res := &Result{
 		Home:       cfg,
 		BinWidth:   opts.BinWidth,
 		Occupancy:  make(map[phy.Channel][]float64, 3),
 		Cumulative: make([]float64, 0, nBins),
 	}
+	RunStream(cfg, opts, func(s BinSample) {
+		for _, chNum := range phy.PoWiFiChannels {
+			res.Occupancy[chNum] = append(res.Occupancy[chNum], s.Occupancy[chNum]*100)
+		}
+		res.Cumulative = append(res.Cumulative, s.CumulativePct)
+		res.HourOfDay = append(res.HourOfDay, s.HourOfDay)
+		res.SensorRates = append(res.SensorRates, s.SensorRate)
+	})
+	return res
+}
+
+// RunStream simulates one home deployment, invoking visit once per
+// logging bin in order instead of materializing the log. This is the
+// shared single-home code path: the paper's six-home study (Run) keeps
+// every bin, while the fleet runner folds each sample into mergeable
+// aggregates and discards it, keeping memory constant in deployment
+// length and fleet size. The simulation is deterministic in (cfg, opts)
+// alone — the visit callback cannot perturb it.
+func RunStream(cfg HomeConfig, opts Options, visit func(BinSample)) {
+	if opts.BinWidth == 0 {
+		opts = DefaultOptions()
+	}
+	nBins := opts.NumBins()
 	rng := xrand.NewFromLabel(cfg.Seed, "home")
 
 	// Distribute neighbor APs across the three channels. Real 2.4 GHz
@@ -212,12 +267,8 @@ func Run(cfg HomeConfig, opts Options) *Result {
 		occ := sampleBin(cfg, bin, clientLoad, neighborLoad, opts.Window)
 		cum := 0.0
 		for _, chNum := range phy.PoWiFiChannels {
-			pct := occ[chNum] * 100
-			res.Occupancy[chNum] = append(res.Occupancy[chNum], pct)
-			cum += pct
+			cum += occ[chNum] * 100
 		}
-		res.Cumulative = append(res.Cumulative, cum)
-		res.HourOfDay = append(res.HourOfDay, hour)
 
 		link := core.PowerLink{
 			TxPowerDBm: 30,
@@ -226,9 +277,16 @@ func Run(cfg HomeConfig, opts Options) *Result {
 			DistanceFt: opts.SensorDistanceFt,
 			Occupancy:  occ,
 		}
-		res.SensorRates = append(res.SensorRates, sensor.UpdateRate(link))
+		rate, netW := sensor.Evaluate(link)
+		visit(BinSample{
+			Bin:           bin,
+			HourOfDay:     hour,
+			Occupancy:     occ,
+			CumulativePct: cum,
+			SensorRate:    rate,
+			NetHarvestedW: netW,
+		})
 	}
-	return res
 }
 
 // sampleBin runs one packet-level window and returns the router's

@@ -137,6 +137,42 @@ func TestHomesDiffer(t *testing.T) {
 	}
 }
 
+func TestRunStreamAgreesWithRun(t *testing.T) {
+	// Run is an accumulator over RunStream; the streamed samples must
+	// reproduce the materialized log exactly, and carry the sensor-side
+	// fields the fleet runner depends on.
+	cfg := PaperHomes()[1]
+	opts := fastOpts()
+	res := Run(cfg, opts)
+	var streamed []BinSample
+	RunStream(cfg, opts, func(s BinSample) { streamed = append(streamed, s) })
+	if len(streamed) != len(res.Cumulative) {
+		t.Fatalf("streamed %d bins, materialized %d", len(streamed), len(res.Cumulative))
+	}
+	for i, s := range streamed {
+		if s.Bin != i {
+			t.Fatalf("bin %d reported index %d", i, s.Bin)
+		}
+		if s.CumulativePct != res.Cumulative[i] {
+			t.Fatalf("bin %d cumulative %v != %v", i, s.CumulativePct, res.Cumulative[i])
+		}
+		if s.SensorRate != res.SensorRates[i] {
+			t.Fatalf("bin %d sensor rate %v != %v", i, s.SensorRate, res.SensorRates[i])
+		}
+		if s.HourOfDay != res.HourOfDay[i] {
+			t.Fatalf("bin %d hour %v != %v", i, s.HourOfDay, res.HourOfDay[i])
+		}
+		for _, chNum := range phy.PoWiFiChannels {
+			if s.Occupancy[chNum]*100 != res.Occupancy[chNum][i] {
+				t.Fatalf("bin %d %v occupancy mismatch", i, chNum)
+			}
+		}
+		if s.SensorRate > 0 && s.NetHarvestedW <= 0 {
+			t.Fatalf("bin %d: sensor runs at %v reads/s but harvested %v W", i, s.SensorRate, s.NetHarvestedW)
+		}
+	}
+}
+
 func TestActivityDiurnalShape(t *testing.T) {
 	if activity(3, false) >= activity(20, false) {
 		t.Error("3 AM should be quieter than 8 PM")

@@ -143,6 +143,9 @@ func TestFig9InBand(t *testing.T) {
 }
 
 func TestFig10SensitivityOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: full harvester output sweeps")
+	}
 	bf := RunFig10(harvester.BatteryFree, 6)
 	bc := RunFig10(harvester.BatteryCharging, 6)
 	if bc.SensitivityDBm >= bf.SensitivityDBm {
@@ -164,6 +167,9 @@ func TestFig10SensitivityOrdering(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: range searches over the harvester model")
+	}
 	res := RunFig11([]float64{5, 10, 19, 25})
 	if res.BatteryFree[0] <= res.BatteryFree[1] {
 		t.Error("battery-free rate should fall with distance")
@@ -182,6 +188,9 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: range searches over the harvester model")
+	}
 	res := RunFig12([]float64{5, 10, 15})
 	for i := 1; i < len(res.DistancesFt); i++ {
 		if res.BatteryFree[i] <= res.BatteryFree[i-1] {
@@ -211,6 +220,9 @@ func TestFig13Ordering(t *testing.T) {
 }
 
 func TestFig14CumulativeInBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: six 24-hour home deployments")
+	}
 	opts := deploy.Options{BinWidth: 2 * time.Hour, Window: 250 * time.Millisecond, Hours: 24, SensorDistanceFt: 10}
 	res := RunFig14(opts)
 	if len(res.Results) != 6 {
@@ -225,6 +237,9 @@ func TestFig14CumulativeInBand(t *testing.T) {
 }
 
 func TestFig15RatesInBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: six 24-hour home deployments")
+	}
 	opts := deploy.Options{BinWidth: 2 * time.Hour, Window: 250 * time.Millisecond, Hours: 24, SensorDistanceFt: 10}
 	res := RunFig15(RunFig14(opts))
 	for i, c := range res.CDFs {
@@ -289,6 +304,9 @@ func TestExtPDoSStarvesSensor(t *testing.T) {
 }
 
 func TestAllQuickRunnersProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs eight experiment pipelines end to end")
+	}
 	// Smoke-run the cheap experiments end to end through the registry.
 	for _, id := range []string{"fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "fig16", "table1"} {
 		var buf bytes.Buffer

@@ -1,0 +1,341 @@
+package fleet
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/phy"
+	"repro/internal/stats"
+)
+
+// Sketch resolutions. Per-home occupancy means and pooled per-bin
+// occupancies live on a percentage scale (cumulative across three
+// channels can reach 300%); harvested power across realistic sensor
+// placements spans 0 to a few hundred microwatts; sensor update
+// latencies of a responsive bin sit well under two minutes.
+const (
+	occHiPct    = 300
+	occBins     = 1200
+	chHiPct     = 100
+	chBins      = 1000
+	harvestHiUW = 500
+	harvestBins = 2000
+	latencyHiS  = 120
+	latencyBins = 2400
+	cdfCurvePts = 24
+)
+
+// homeStats is the fixed-size scalar summary a worker emits per home.
+// These flow through the reorder buffer and are folded into the fleet
+// aggregates in home-index order.
+type homeStats struct {
+	meanCumPct    float64
+	meanChPct     [3]float64
+	meanHarvestUW float64
+	meanRate      float64
+}
+
+// partial holds one worker's pooled per-bin aggregates. Every field
+// merges exactly (integer counts and exact extremes), so worker count
+// and scheduling cannot change the merged result.
+type partial struct {
+	binOcc     *stats.Sketch
+	harvest    *stats.Sketch
+	latency    *stats.Sketch
+	silentBins uint64
+	totalBins  uint64
+}
+
+func newPartial() *partial {
+	return &partial{
+		binOcc:  stats.NewSketch(0, occHiPct, occBins),
+		harvest: stats.NewSketch(0, harvestHiUW, harvestBins),
+		latency: stats.NewSketch(0, latencyHiS, latencyBins),
+	}
+}
+
+// Result holds the fleet-level aggregates of one run.
+type Result struct {
+	// Config echoes the resolved configuration (including the worker
+	// count actually used; excluded from serialized output so worker
+	// count cannot leak into result comparisons).
+	Config Config
+
+	// Per-home population aggregates, reduced in home-index order.
+	CumOcc      *stats.Sketch    // per-home mean cumulative occupancy, %
+	ChOcc       [3]*stats.Sketch // per-home mean occupancy per PoWiFi channel, %
+	HomeHarvest *stats.Sketch    // per-home mean harvested power, µW
+	OccW        stats.Welford    // exact moments over per-home mean occupancy
+	HarvestW    stats.Welford    // exact moments over per-home mean harvest (µW)
+	RateW       stats.Welford    // exact moments over per-home mean sensor rate
+
+	// Pooled per-bin aggregates (order-independent exact merges).
+	BinOcc     *stats.Sketch // per-bin cumulative occupancy, %
+	Harvest    *stats.Sketch // per-bin harvested power, µW
+	Latency    *stats.Sketch // per-bin sensor update latency, s (responsive bins)
+	SilentBins uint64        // bins where the sensor could not boot
+	TotalBins  uint64
+}
+
+func newResult(cfg Config) *Result {
+	r := &Result{
+		Config:      cfg,
+		CumOcc:      stats.NewSketch(0, occHiPct, occBins),
+		HomeHarvest: stats.NewSketch(0, harvestHiUW, harvestBins),
+		BinOcc:      stats.NewSketch(0, occHiPct, occBins),
+		Harvest:     stats.NewSketch(0, harvestHiUW, harvestBins),
+		Latency:     stats.NewSketch(0, latencyHiS, latencyBins),
+	}
+	for i := range r.ChOcc {
+		r.ChOcc[i] = stats.NewSketch(0, chHiPct, chBins)
+	}
+	return r
+}
+
+// addHome folds one home's summary into the population aggregates.
+// Callers must invoke it in home-index order for bit-for-bit
+// reproducibility of the Welford moments.
+func (r *Result) addHome(hs homeStats) {
+	r.CumOcc.Add(hs.meanCumPct)
+	for i := range r.ChOcc {
+		r.ChOcc[i].Add(hs.meanChPct[i])
+	}
+	r.HomeHarvest.Add(hs.meanHarvestUW)
+	r.OccW.Add(hs.meanCumPct)
+	r.HarvestW.Add(hs.meanHarvestUW)
+	r.RateW.Add(hs.meanRate)
+}
+
+// mergePartial folds one worker's pooled aggregates into the result.
+func (r *Result) mergePartial(p *partial) {
+	r.BinOcc.Merge(p.binOcc)
+	r.Harvest.Merge(p.harvest)
+	r.Latency.Merge(p.latency)
+	r.SilentBins += p.silentBins
+	r.TotalBins += p.totalBins
+}
+
+// SilentFraction returns the fraction of logged bins in which the
+// battery-free sensor could not operate.
+func (r *Result) SilentFraction() float64 {
+	if r.TotalBins == 0 {
+		return 0
+	}
+	return float64(r.SilentBins) / float64(r.TotalBins)
+}
+
+// DistSummary is the serialized summary of one distribution. Underflow
+// and Overflow count samples outside the sketch's bin range: when
+// Overflow is a large share of N the upper percentiles saturate at Max
+// and the reader must widen the sketch bounds rather than trust them.
+type DistSummary struct {
+	N         uint64  `json:"n"`
+	Mean      float64 `json:"mean"`
+	StdDev    float64 `json:"stddev"`
+	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
+	P50       float64 `json:"p50"`
+	P95       float64 `json:"p95"`
+	P99       float64 `json:"p99"`
+	Underflow uint64  `json:"underflow"`
+	Overflow  uint64  `json:"overflow"`
+}
+
+// distFromSketch summarizes a pooled sketch; mean and stddev come from
+// the sketch itself (bin-midpoint approximation, deterministic).
+func distFromSketch(s *stats.Sketch) DistSummary {
+	if s.N() == 0 {
+		return DistSummary{}
+	}
+	under, over := s.OutOfRange()
+	return DistSummary{
+		N:         s.N(),
+		Mean:      s.Mean(),
+		StdDev:    s.StdDev(),
+		Min:       s.Min(),
+		Max:       s.Max(),
+		P50:       s.Quantile(0.50),
+		P95:       s.Quantile(0.95),
+		P99:       s.Quantile(0.99),
+		Underflow: under,
+		Overflow:  over,
+	}
+}
+
+// distFromSketchWelford summarizes a per-home sketch, with exact
+// Welford moments replacing the sketch approximations.
+func distFromSketchWelford(s *stats.Sketch, w stats.Welford) DistSummary {
+	d := distFromSketch(s)
+	d.Mean = w.Mean
+	d.StdDev = w.StdDev()
+	return d
+}
+
+// Summary is the serializable fleet report: the generalization of the
+// paper's Fig. 14-16 from six homes to a population. It deliberately
+// omits the worker count — two runs of the same seed must serialize
+// identically at any parallelism.
+type Summary struct {
+	Homes     int     `json:"homes"`
+	Seed      uint64  `json:"seed"`
+	Hours     float64 `json:"hours"`
+	BinWidthS float64 `json:"bin_width_s"`
+	WindowS   float64 `json:"window_s"`
+	// Population echoes the resolved household distributions: two runs
+	// are comparable only if this block matches too.
+	Population Population `json:"population"`
+
+	TotalBins      uint64  `json:"total_bins"`
+	SilentBins     uint64  `json:"silent_bins"`
+	SilentFraction float64 `json:"silent_fraction"`
+
+	// HomeOccupancyPct distributes per-home mean cumulative occupancy
+	// (the paper reports 78-127% across its six homes).
+	HomeOccupancyPct    DistSummary            `json:"home_occupancy_pct"`
+	ChannelOccupancyPct map[string]DistSummary `json:"channel_occupancy_pct"`
+	// HomeHarvestUW distributes per-home mean harvested power.
+	HomeHarvestUW DistSummary `json:"home_harvest_uw"`
+	// BinOccupancyPct pools every logging bin across the fleet.
+	BinOccupancyPct DistSummary `json:"bin_occupancy_pct"`
+	// BinHarvestUW pools per-bin harvested power across the fleet.
+	BinHarvestUW DistSummary `json:"bin_harvest_uw"`
+	// UpdateLatencyS pools per-bin sensor update latency (1/rate) over
+	// responsive bins; silent bins are reported via SilentFraction.
+	UpdateLatencyS DistSummary `json:"update_latency_s"`
+	// MeanUpdateRateHz is the fleet mean of per-home mean sensor rates.
+	MeanUpdateRateHz float64 `json:"mean_update_rate_hz"`
+
+	// CDF curves for plotting the population figures. The prefixes name
+	// the sample population: HomeOccupancyCDF distributes per-home
+	// means (pairs with HomeOccupancyPct), while the harvest and
+	// latency curves pool every logging bin across the fleet (pair with
+	// BinHarvestUW / UpdateLatencyS, not the per-home summaries).
+	HomeOccupancyCDF []stats.Point `json:"home_occupancy_cdf"`
+	BinHarvestCDF    []stats.Point `json:"bin_harvest_cdf"`
+	BinLatencyCDF    []stats.Point `json:"bin_latency_cdf"`
+}
+
+// Summarize derives the serializable report from the aggregates.
+func (r *Result) Summarize() Summary {
+	s := Summary{
+		Homes:               r.Config.Homes,
+		Seed:                r.Config.Seed,
+		Hours:               r.Config.Hours,
+		BinWidthS:           r.Config.BinWidth.Seconds(),
+		WindowS:             r.Config.Window.Seconds(),
+		Population:          r.Config.Population,
+		TotalBins:           r.TotalBins,
+		SilentBins:          r.SilentBins,
+		SilentFraction:      r.SilentFraction(),
+		HomeOccupancyPct:    distFromSketchWelford(r.CumOcc, r.OccW),
+		ChannelOccupancyPct: map[string]DistSummary{},
+		HomeHarvestUW:       distFromSketchWelford(r.HomeHarvest, r.HarvestW),
+		BinOccupancyPct:     distFromSketch(r.BinOcc),
+		BinHarvestUW:        distFromSketch(r.Harvest),
+		UpdateLatencyS:      distFromSketch(r.Latency),
+		MeanUpdateRateHz:    r.RateW.Mean,
+		HomeOccupancyCDF:    r.CumOcc.Points(cdfCurvePts),
+		BinHarvestCDF:       r.Harvest.Points(cdfCurvePts),
+		BinLatencyCDF:       r.Latency.Points(cdfCurvePts),
+	}
+	for i, chNum := range phy.PoWiFiChannels {
+		s.ChannelOccupancyPct[chNum.String()] = distFromSketch(r.ChOcc[i])
+	}
+	return s
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summarize())
+}
+
+// WriteCSV writes the summary as metric rows plus CDF curve rows.
+func (r *Result) WriteCSV(w io.Writer) error {
+	s := r.Summarize()
+	cw := csv.NewWriter(w)
+	row := func(fields ...string) { cw.Write(fields) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+
+	row("section", "name", "n", "mean", "stddev", "min", "max", "p50", "p95", "p99", "underflow", "overflow")
+	dist := func(name string, d DistSummary) {
+		row("dist", name, u(d.N), f(d.Mean), f(d.StdDev), f(d.Min), f(d.Max), f(d.P50), f(d.P95), f(d.P99),
+			u(d.Underflow), u(d.Overflow))
+	}
+	dist("home_occupancy_pct", s.HomeOccupancyPct)
+	for _, chNum := range phy.PoWiFiChannels {
+		dist("channel_occupancy_pct/"+chNum.String(), s.ChannelOccupancyPct[chNum.String()])
+	}
+	dist("home_harvest_uw", s.HomeHarvestUW)
+	dist("bin_occupancy_pct", s.BinOccupancyPct)
+	dist("bin_harvest_uw", s.BinHarvestUW)
+	dist("update_latency_s", s.UpdateLatencyS)
+	pop := s.Population
+	popRow := func(name string, v float64) { row("population", name, "", f(v), "", "", "", "", "", "", "", "") }
+	popRow("min_users", float64(pop.MinUsers))
+	popRow("max_users", float64(pop.MaxUsers))
+	popRow("max_devices_per_user", float64(pop.MaxDevicesPerUser))
+	popRow("mean_neighbor_aps", pop.MeanNeighborAPs)
+	popRow("max_neighbor_aps", float64(pop.MaxNeighborAPs))
+	popRow("weekend_fraction", pop.WeekendFraction)
+	popRow("min_sensor_ft", pop.MinSensorFt)
+	popRow("max_sensor_ft", pop.MaxSensorFt)
+	row("scalar", "homes", u(uint64(s.Homes)), "", "", "", "", "", "", "", "", "")
+	row("scalar", "total_bins", u(s.TotalBins), "", "", "", "", "", "", "", "", "")
+	row("scalar", "silent_fraction", "", f(s.SilentFraction), "", "", "", "", "", "", "", "")
+	row("scalar", "mean_update_rate_hz", "", f(s.MeanUpdateRateHz), "", "", "", "", "", "", "", "")
+	curve := func(name string, pts []stats.Point) {
+		for _, p := range pts {
+			row("cdf", name, "", f(p.X), f(p.Y), "", "", "", "", "", "", "")
+		}
+	}
+	curve("home_occupancy_pct", s.HomeOccupancyCDF)
+	curve("bin_harvest_uw", s.BinHarvestCDF)
+	curve("bin_latency_s", s.BinLatencyCDF)
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText writes a human-readable summary.
+func (r *Result) WriteText(w io.Writer) error {
+	s := r.Summarize()
+	var werr error
+	p := func(format string, args ...any) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(w, format+"\n", args...)
+		}
+	}
+	p("fleet: %d homes x %.0f h (seed %d, bin %.0f s, window %.0f ms)",
+		s.Homes, s.Hours, s.Seed, s.BinWidthS, s.WindowS*1000)
+	p("population: %d-%d users, <=%d devices/user, ~%.0f neighbor APs (cap %d), weekend %.2f, sensor %.0f-%.0f ft",
+		s.Population.MinUsers, s.Population.MaxUsers, s.Population.MaxDevicesPerUser,
+		s.Population.MeanNeighborAPs, s.Population.MaxNeighborAPs,
+		s.Population.WeekendFraction, s.Population.MinSensorFt, s.Population.MaxSensorFt)
+	p("")
+	p("cumulative occupancy per home: mean %.1f%% ± %.1f  p50 %.1f%%  p95 %.1f%%  p99 %.1f%%  [%.1f, %.1f]",
+		s.HomeOccupancyPct.Mean, s.HomeOccupancyPct.StdDev,
+		s.HomeOccupancyPct.P50, s.HomeOccupancyPct.P95, s.HomeOccupancyPct.P99,
+		s.HomeOccupancyPct.Min, s.HomeOccupancyPct.Max)
+	for _, chNum := range phy.PoWiFiChannels {
+		d := s.ChannelOccupancyPct[chNum.String()]
+		p("  %-5s mean %.1f%%  p50 %.1f%%  p95 %.1f%%", chNum, d.Mean, d.P50, d.P95)
+	}
+	p("")
+	p("harvested power per home:      mean %.2f µW ± %.2f  p50 %.2f  p95 %.2f  p99 %.2f",
+		s.HomeHarvestUW.Mean, s.HomeHarvestUW.StdDev,
+		s.HomeHarvestUW.P50, s.HomeHarvestUW.P95, s.HomeHarvestUW.P99)
+	p("sensor update latency (bins):  p50 %.2f s  p95 %.2f s  p99 %.2f s  (silent bins: %.1f%%)",
+		s.UpdateLatencyS.P50, s.UpdateLatencyS.P95, s.UpdateLatencyS.P99, 100*s.SilentFraction)
+	p("mean sensor update rate:       %.2f Hz over %d bins", s.MeanUpdateRateHz, s.TotalBins)
+	p("")
+	p("occupancy CDF (per-home mean cumulative %%):")
+	for _, pt := range s.HomeOccupancyCDF {
+		p("  %7.1f%%  %5.3f", pt.X, pt.Y)
+	}
+	return werr
+}

@@ -1,11 +1,11 @@
 // Package stats provides the summary statistics used by the experiment
 // harness: empirical CDFs (every occupancy and throughput figure in the
-// paper is a CDF), percentiles, means, histograms and fixed-width time
-// series for the 24-hour deployment logs.
+// paper is a CDF), percentiles, means, fixed-width time series for the
+// 24-hour deployment logs, and the mergeable aggregates (Sketch,
+// Welford) that sharded fleet runs reduce with.
 package stats
 
 import (
-	"fmt"
 	"math"
 	"sort"
 )
@@ -144,49 +144,6 @@ func maxInt(a, b int) int {
 type Point struct {
 	X, Y float64
 }
-
-// Histogram counts samples into fixed-width bins over [lo, hi).
-type Histogram struct {
-	Lo, Hi float64
-	Counts []int
-	under  int
-	over   int
-	n      int
-}
-
-// NewHistogram creates a histogram with the given bounds and bin count.
-// It panics if hi <= lo or bins <= 0.
-func NewHistogram(lo, hi float64, bins int) *Histogram {
-	if hi <= lo || bins <= 0 {
-		panic(fmt.Sprintf("stats: invalid histogram bounds [%v,%v) bins=%d", lo, hi, bins))
-	}
-	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
-}
-
-// Add records one sample. Samples outside [lo, hi) are tracked in
-// underflow/overflow counters rather than dropped silently.
-func (h *Histogram) Add(x float64) {
-	h.n++
-	if x < h.Lo {
-		h.under++
-		return
-	}
-	if x >= h.Hi {
-		h.over++
-		return
-	}
-	bin := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
-	if bin >= len(h.Counts) { // guard against float rounding at the edge
-		bin = len(h.Counts) - 1
-	}
-	h.Counts[bin]++
-}
-
-// N returns the total number of samples added, including out-of-range ones.
-func (h *Histogram) N() int { return h.n }
-
-// OutOfRange returns the underflow and overflow counts.
-func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
 
 // TimeSeries accumulates (time, value) samples in fixed-width bins, as used
 // by the 24-hour home-deployment occupancy logs (60 s resolution in the

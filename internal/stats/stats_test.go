@@ -148,44 +148,6 @@ func TestCDFPoints(t *testing.T) {
 	}
 }
 
-func TestHistogram(t *testing.T) {
-	h := NewHistogram(0, 10, 10)
-	for i := 0; i < 10; i++ {
-		h.Add(float64(i) + 0.5)
-	}
-	h.Add(-1)
-	h.Add(11)
-	for i, c := range h.Counts {
-		if c != 1 {
-			t.Errorf("bin %d count = %d, want 1", i, c)
-		}
-	}
-	u, o := h.OutOfRange()
-	if u != 1 || o != 1 {
-		t.Errorf("out of range = %d/%d, want 1/1", u, o)
-	}
-	if h.N() != 12 {
-		t.Errorf("N = %d, want 12", h.N())
-	}
-}
-
-func TestHistogramEdgeRounding(t *testing.T) {
-	h := NewHistogram(0, 1, 3)
-	h.Add(math.Nextafter(1, 0)) // just below hi must land in last bin
-	if h.Counts[2] != 1 {
-		t.Errorf("edge sample not in last bin: %v", h.Counts)
-	}
-}
-
-func TestHistogramPanicsOnBadBounds(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for hi <= lo")
-		}
-	}()
-	NewHistogram(5, 5, 10)
-}
-
 func TestTimeSeriesBinning(t *testing.T) {
 	ts := NewTimeSeries(60, 3600)
 	if ts.NumBins() != 60 {

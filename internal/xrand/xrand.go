@@ -128,6 +128,35 @@ func (r *Rand) Pareto(xm, alpha float64) float64 {
 	return xm / math.Pow(1-u, 1/alpha)
 }
 
+// Poisson returns a Poisson-distributed count with the given mean.
+// Small means use Knuth's product-of-uniforms method; large means
+// (where that method needs ~mean draws and float underflow looms) use
+// the rounded-normal approximation, which is accurate to well under a
+// count at mean > 30. Fleet population synthesis draws device and
+// neighbor counts from this.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		n := int(r.Normal(mean, math.Sqrt(mean)) + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
 // Bool returns true with probability p.
 func (r *Rand) Bool(p float64) bool {
 	return r.Float64() < p

@@ -201,3 +201,44 @@ func TestUniformWithinBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPoissonMoments(t *testing.T) {
+	// Poisson mean and variance both equal lambda; check both regimes
+	// (Knuth at small lambda, rounded normal above 30).
+	for _, mean := range []float64{0.5, 4, 12, 80} {
+		r := New(99)
+		const n = 20000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			k := float64(r.Poisson(mean))
+			sum += k
+			sumSq += k * k
+		}
+		m := sum / n
+		v := sumSq/n - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", mean, m)
+		}
+		if math.Abs(v-mean) > 0.10*mean+0.1 {
+			t.Errorf("Poisson(%v) variance = %v, want about %v", mean, v, mean)
+		}
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	r := New(1)
+	if r.Poisson(0) != 0 || r.Poisson(-3) != 0 {
+		t.Error("non-positive mean should yield 0")
+	}
+	for i := 0; i < 1000; i++ {
+		if r.Poisson(50) < 0 {
+			t.Fatal("negative Poisson draw")
+		}
+	}
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Poisson(12) != b.Poisson(12) {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	powifi "repro"
 )
@@ -41,5 +42,32 @@ func TestRunExperimentFacade(t *testing.T) {
 func TestVersionNonEmpty(t *testing.T) {
 	if powifi.Version == "" {
 		t.Error("version should be set")
+	}
+}
+
+func TestRunFleetFacade(t *testing.T) {
+	res, err := powifi.RunFleet(powifi.FleetConfig{
+		Homes:    2,
+		Seed:     9,
+		Workers:  2,
+		Hours:    1,
+		BinWidth: 30 * time.Minute,
+		Window:   2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBins != 4 {
+		t.Errorf("total bins = %d, want 4", res.TotalBins)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "home_occupancy_pct") {
+		t.Errorf("unexpected fleet JSON: %q", buf.String())
+	}
+	if _, err := powifi.RunFleet(powifi.FleetConfig{Homes: -1}); err == nil {
+		t.Error("invalid fleet config should error")
 	}
 }
