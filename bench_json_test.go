@@ -1,0 +1,97 @@
+package powifi_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestEmitFleetBenchJSON seeds the repo's performance trajectory: when
+// POWIFI_BENCH_JSON is set (the CI bench-smoke job sets it), it runs the
+// fleet sweep and the Evaluate exact/surface pair under testing.Benchmark
+// and writes BENCH_fleet.json. Each record carries a `line` field in the
+// standard Go benchmark text format, so
+//
+//	jq -r '.benchmarks[].line' BENCH_fleet.json | benchstat /dev/stdin
+//
+// feeds benchstat directly, while the parsed fields (ns_per_op, ns_per_home,
+// surface_speedup) serve dashboards without a parser.
+func TestEmitFleetBenchJSON(t *testing.T) {
+	if os.Getenv("POWIFI_BENCH_JSON") == "" {
+		t.Skip("set POWIFI_BENCH_JSON=1 to emit BENCH_fleet.json")
+	}
+
+	type record struct {
+		Name      string  `json:"name"`
+		Iters     int     `json:"iterations"`
+		NsPerOp   float64 `json:"ns_per_op"`
+		NsPerHome float64 `json:"ns_per_home,omitempty"`
+		Line      string  `json:"line"`
+	}
+	type report struct {
+		GOOS           string   `json:"goos"`
+		GOARCH         string   `json:"goarch"`
+		GOMAXPROCS     int      `json:"gomaxprocs"`
+		SurfaceSpeedup float64  `json:"surface_speedup_per_home"`
+		Benchmarks     []record `json:"benchmarks"`
+	}
+
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	add := func(name string, homes int, bench func(*testing.B)) record {
+		res := testing.Benchmark(bench)
+		r := record{
+			Name:    name,
+			Iters:   res.N,
+			NsPerOp: float64(res.NsPerOp()),
+			Line:    fmt.Sprintf("Benchmark%s-%d %d %d ns/op", name, runtime.GOMAXPROCS(0), res.N, res.NsPerOp()),
+		}
+		if homes > 0 {
+			r.NsPerHome = r.NsPerOp / float64(homes)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+		return r
+	}
+
+	// Warm the shared operating-point surface outside every timer.
+	core.NewBatteryFreeTempSensor().Evaluate(core.PoWiFiLink(10, 1.2))
+
+	add("EvaluateExact", 0, BenchmarkEvaluateExact)
+	add("EvaluateSurface", 0, BenchmarkEvaluateSurface)
+	var surfNs, exactNs float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := fleetBenchConfig(workers, false)
+		r := add(fmt.Sprintf("Fleet/workers=%d", workers), cfg.Homes, func(b *testing.B) {
+			runFleetBench(b, cfg)
+		})
+		if workers == 1 {
+			surfNs = r.NsPerHome
+		}
+	}
+	{
+		cfg := fleetBenchConfig(1, true)
+		r := add("FleetExact/workers=1", cfg.Homes, func(b *testing.B) {
+			runFleetBench(b, cfg)
+		})
+		exactNs = r.NsPerHome
+	}
+	if surfNs > 0 {
+		rep.SurfaceSpeedup = exactNs / surfNs
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fleet.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_fleet.json: per-home %0.f ns (surface) vs %0.f ns (exact): %.1f× speedup",
+		surfNs, exactNs, rep.SurfaceSpeedup)
+	if rep.SurfaceSpeedup < 5 {
+		t.Errorf("surface per-home speedup %.1f× is below the 5× acceptance bar", rep.SurfaceSpeedup)
+	}
+}

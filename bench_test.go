@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
@@ -168,30 +169,94 @@ func BenchmarkTable1HomeSummary(b *testing.B) {
 	}
 }
 
-// BenchmarkFleet runs a small fleet at several worker counts. The homes
-// are independent discrete-event simulations, so on multicore hardware
-// the sharded path should approach linear speedup over workers=1 (the
-// serial path); results are bit-for-bit identical either way.
+// BenchmarkEvaluateExact measures the direct per-bin rectifier solve
+// (cold-start check plus bursty operating point via the Bessel/Newton
+// path) that dominated deployment and fleet runs before the
+// operating-point surface.
+func BenchmarkEvaluateExact(b *testing.B) {
+	sensor := core.NewBatteryFreeTempSensor()
+	sensor.Exact = true
+	link := core.PoWiFiLink(10, 1.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rate, _ := sensor.Evaluate(link); rate <= 0 {
+			b.Fatal("sensor silent at 10 ft")
+		}
+	}
+}
+
+// BenchmarkEvaluateSurface measures the same solve served from the
+// error-bounded operating-point surface (internal/surface). The surface
+// build happens once before the timer; the steady-state cost is what
+// every fleet bin pays.
+func BenchmarkEvaluateSurface(b *testing.B) {
+	sensor := core.NewBatteryFreeTempSensor()
+	link := core.PoWiFiLink(10, 1.2)
+	sensor.Evaluate(link) // warm the shared surface
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rate, _ := sensor.Evaluate(link); rate <= 0 {
+			b.Fatal("sensor silent at 10 ft")
+		}
+	}
+}
+
+// fleetBenchConfig is the shared fleet benchmark workload: 16 homes × 4
+// bins, small enough to iterate, large enough to exercise synthesis,
+// sharding and reduction.
+func fleetBenchConfig(workers int, exact bool) fleet.Config {
+	return fleet.Config{
+		Homes:    16,
+		Seed:     42,
+		Workers:  workers,
+		Hours:    2,
+		BinWidth: 30 * time.Minute,
+		Window:   2 * time.Millisecond,
+		Exact:    exact,
+	}
+}
+
+func runFleetBench(b *testing.B, cfg fleet.Config) {
+	b.Helper()
+	// Build the shared surface (and warm caches) outside the timer.
+	if _, err := fleet.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalBins == 0 {
+			b.Fatal("fleet logged no bins")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(cfg.Homes), "ns/home")
+}
+
+// BenchmarkFleet runs a small fleet at several worker counts on the
+// default (surface) path. The homes are independent discrete-event
+// simulations, so on multicore hardware the sharded path should approach
+// linear speedup over workers=1 (the serial path); results are
+// bit-for-bit identical either way. The ns/home metric is the headline
+// per-home cost the ROADMAP's fleet-scale target cares about.
 func BenchmarkFleet(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			cfg := fleet.Config{
-				Homes:    16,
-				Seed:     42,
-				Workers:  workers,
-				Hours:    2,
-				BinWidth: 30 * time.Minute,
-				Window:   2 * time.Millisecond,
-			}
-			for i := 0; i < b.N; i++ {
-				res, err := fleet.Run(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if res.TotalBins == 0 {
-					b.Fatal("fleet logged no bins")
-				}
-			}
+			runFleetBench(b, fleetBenchConfig(workers, false))
+		})
+	}
+}
+
+// BenchmarkFleetExact is the same fleet with the operating-point surface
+// bypassed: every bin pays the full Bessel/Newton solve. Comparing its
+// ns/home against BenchmarkFleet's quantifies what the surface buys.
+func BenchmarkFleetExact(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runFleetBench(b, fleetBenchConfig(workers, true))
 		})
 	}
 }

@@ -1,42 +1,62 @@
 // Command powifi-bench regenerates the paper's tables and figures from the
 // simulator. Run with no arguments to list experiments; pass experiment
 // ids (fig1, fig5, fig6a, ..., table1) or "all". The -full flag switches
-// from the quick configuration to the paper-scale one.
+// from the quick configuration to the paper-scale one. The -exact flag
+// disables the operating-point surface so every rectifier solve runs the
+// direct Bessel/Newton path (slower; for validating the surface).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/surface"
 )
 
 func main() {
-	full := flag.Bool("full", false, "run the paper-scale configuration (slower)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-full] <experiment id>... | all\n\nexperiments:\n", os.Args[0])
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args and regenerates the requested experiments; split from
+// main so the CLI surface is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("powifi-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	full := fs.Bool("full", false, "run the paper-scale configuration (slower)")
+	exact := fs.Bool("exact", false, "bypass the operating-point surface; solve every operating point exactly")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: powifi-bench [-full] [-exact] <experiment id>... | all\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
-			fmt.Fprintf(os.Stderr, "  %-7s %s\n", id, experiments.Describe(id))
+			fmt.Fprintf(stderr, "  %-7s %s\n", id, experiments.Describe(id))
 		}
 	}
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	ids := args
-	if len(args) == 1 && args[0] == "all" {
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	if *exact {
+		prev := surface.Enabled()
+		surface.SetEnabled(false)
+		defer surface.SetEnabled(prev)
+	}
+	ids := fs.Args()
+	if fs.NArg() == 1 && ids[0] == "all" {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if !experiments.Run(id, os.Stdout, !*full) {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
-			os.Exit(1)
+		if !experiments.Run(id, stdout, !*full) {
+			fmt.Fprintf(stderr, "unknown experiment %q\n", id)
+			return 1
 		}
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

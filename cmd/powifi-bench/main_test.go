@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/surface"
+)
+
+func TestUsageOnNoArgs(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	for _, want := range []string{"usage:", "fig9", "table1", "-exact"} {
+		if !strings.Contains(errBuf.String(), want) {
+			t.Errorf("usage output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"fig99"}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), `unknown experiment "fig99"`) {
+		t.Errorf("stderr: %s", errBuf.String())
+	}
+}
+
+func TestUnknownFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-bogus", "fig9"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunsExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"fig9"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"== fig9", "worst in-band", "completed in"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestExactFlagDisablesSurfaceDuringRun pins the -exact escape hatch:
+// the surface is off while experiments run and restored afterwards.
+func TestExactFlagDisablesSurfaceDuringRun(t *testing.T) {
+	if !surface.Enabled() {
+		t.Fatal("surface must start enabled")
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-exact", "fig13"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !surface.Enabled() {
+		t.Error("-exact did not restore the surface after the run")
+	}
+	if !strings.Contains(out.String(), "== fig13") {
+		t.Errorf("experiment did not run under -exact:\n%s", out.String())
+	}
+}

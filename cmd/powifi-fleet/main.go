@@ -4,15 +4,22 @@
 // latency tails). Results are bit-for-bit identical at any -workers
 // value; only wall-clock time changes.
 //
+// The per-bin rectifier solve is served from the error-bounded
+// operating-point surface (internal/surface) by default; -exact bypasses
+// the surface and pays the full Bessel/Newton solve per bin, which is
+// only useful for validating the surface's ε guarantee.
+//
 // Examples:
 //
 //	powifi-fleet -homes 1000 -seed 42
 //	powifi-fleet -homes 5000 -workers 8 -duration 24h -format json
+//	powifi-fleet -homes 20 -exact -format json   # surface bypass
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,23 +28,39 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args and executes the fleet; split from main so the CLI
+// surface (flag validation, output schemas, -exact parity) is testable
+// in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("powifi-fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		homes    = flag.Int("homes", 1000, "number of homes to simulate")
-		workers  = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
-		seed     = flag.Uint64("seed", 1, "fleet seed; all randomness derives from it")
-		duration = flag.Duration("duration", 24*time.Hour, "deployment duration per home")
-		bin      = flag.Duration("bin", time.Hour, "occupancy logging bin width")
-		window   = flag.Duration("window", 10*time.Millisecond, "packet-level sample window per bin")
-		format   = flag.String("format", "text", "output format: text, json or csv")
-		quiet    = flag.Bool("q", false, "suppress the timing line on stderr")
+		homes    = fs.Int("homes", 1000, "number of homes to simulate")
+		workers  = fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		seed     = fs.Uint64("seed", 1, "fleet seed; all randomness derives from it")
+		duration = fs.Duration("duration", 24*time.Hour, "deployment duration per home")
+		bin      = fs.Duration("bin", time.Hour, "occupancy logging bin width")
+		window   = fs.Duration("window", 10*time.Millisecond, "packet-level sample window per bin")
+		format   = fs.String("format", "text", "output format: text, json or csv")
+		exact    = fs.Bool("exact", false, "bypass the operating-point surface; solve every bin exactly")
+		quiet    = fs.Bool("q", false, "suppress the timing line on stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
 
 	switch *format {
 	case "text", "json", "csv":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown format %q (want text, json or csv)\n", *format)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown format %q (want text, json or csv)\n", *format)
+		return 2
 	}
 
 	cfg := fleet.Config{
@@ -47,27 +70,29 @@ func main() {
 		Hours:    duration.Hours(),
 		BinWidth: *bin,
 		Window:   *window,
+		Exact:    *exact,
 	}
 	start := time.Now()
 	res, err := powifi.RunFleet(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "simulated %d homes with %d workers in %v\n",
+		fmt.Fprintf(stderr, "simulated %d homes with %d workers in %v\n",
 			res.Config.Homes, res.Config.Workers, time.Since(start).Round(time.Millisecond))
 	}
 	switch *format {
 	case "text":
-		err = res.WriteText(os.Stdout)
+		err = res.WriteText(stdout)
 	case "json":
-		err = res.WriteJSON(os.Stdout)
+		err = res.WriteJSON(stdout)
 	case "csv":
-		err = res.WriteCSV(os.Stdout)
+		err = res.WriteCSV(stdout)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
+	return 0
 }

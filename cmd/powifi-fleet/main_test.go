@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// tinyArgs is a fleet small enough for CLI tests: 3 homes × 4 bins.
+func tinyArgs(extra ...string) []string {
+	base := []string{"-homes", "3", "-seed", "9", "-duration", "2h", "-bin", "30m",
+		"-window", "2ms", "-workers", "2", "-q"}
+	return append(base, extra...)
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string // substring expected on stderr
+	}{
+		{"unknown format", tinyArgs("-format", "xml"), 2, "unknown format"},
+		{"unknown flag", []string{"-bogus"}, 2, "flag provided but not defined"},
+		{"stray positional", tinyArgs("json"), 2, "unexpected arguments"},
+		{"bad homes", []string{"-homes", "0", "-q"}, 1, "Homes"},
+		{"bad duration", []string{"-homes", "1", "-duration", "10m", "-bin", "1h", "-q"}, 1, "shorter than one"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			if code := run(tc.args, &out, &errBuf); code != tc.code {
+				t.Fatalf("exit code %d, want %d (stderr: %s)", code, tc.code, errBuf.String())
+			}
+			if !strings.Contains(errBuf.String(), tc.want) {
+				t.Errorf("stderr %q missing %q", errBuf.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestTextOutput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(tinyArgs(), &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"fleet: 3 homes x 2 h (seed 9", "cumulative occupancy per home", "occupancy CDF"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestJSONSchemaRoundTrip pins the JSON schema: the CLI's output must
+// decode into fleet.Summary and survive a decode→encode→decode round
+// trip unchanged (no lossy fields, no unserializable values).
+func TestJSONSchemaRoundTrip(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(tinyArgs("-format", "json"), &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var s fleet.Summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("CLI JSON does not decode into fleet.Summary: %v", err)
+	}
+	if s.Homes != 3 || s.Seed != 9 || s.TotalBins != 12 {
+		t.Errorf("decoded summary wrong: homes=%d seed=%d bins=%d", s.Homes, s.Seed, s.TotalBins)
+	}
+	re, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s2 fleet.Summary
+	if err := json.Unmarshal(re, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Errorf("JSON round trip not stable:\nfirst  %+v\nsecond %+v", s, s2)
+	}
+	// Schema keys the dashboards depend on must be present verbatim.
+	var raw map[string]any
+	if err := json.Unmarshal(out.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"homes", "seed", "total_bins", "silent_fraction",
+		"home_occupancy_pct", "channel_occupancy_pct", "home_harvest_uw",
+		"bin_occupancy_pct", "bin_harvest_uw", "update_latency_s",
+		"mean_update_rate_hz", "home_occupancy_cdf", "bin_harvest_cdf", "bin_latency_cdf"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("JSON output missing key %q", key)
+		}
+	}
+}
+
+// TestCSVSchemaRoundTrip pins the CSV schema: parseable by encoding/csv,
+// fixed header, known sections, and the dist rows numeric.
+func TestCSVSchemaRoundTrip(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(tinyArgs("-format", "csv"), &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	rows, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("CLI CSV does not parse: %v", err)
+	}
+	wantHeader := []string{"section", "name", "n", "mean", "stddev", "min", "max", "p50", "p95", "p99", "underflow", "overflow"}
+	if !reflect.DeepEqual(rows[0], wantHeader) {
+		t.Fatalf("CSV header changed: %v", rows[0])
+	}
+	sections := map[string]int{}
+	for _, row := range rows[1:] {
+		if len(row) != len(wantHeader) {
+			t.Fatalf("ragged CSV row: %v", row)
+		}
+		sections[row[0]]++
+	}
+	for _, want := range []string{"dist", "population", "scalar", "cdf"} {
+		if sections[want] == 0 {
+			t.Errorf("CSV missing section %q (got %v)", want, sections)
+		}
+	}
+}
+
+// TestExactParity is the CLI-level --exact check: a tiny fleet run with
+// and without the operating-point surface must agree exactly on
+// occupancy and bin accounting and within the surface's ε on the
+// energy-side means.
+func TestExactParity(t *testing.T) {
+	decode := func(args []string) fleet.Summary {
+		t.Helper()
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code != 0 {
+			t.Fatalf("exit %d: %s", code, errBuf.String())
+		}
+		var s fleet.Summary
+		if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	surf := decode(tinyArgs("-format", "json"))
+	exact := decode(tinyArgs("-format", "json", "-exact"))
+
+	if surf.HomeOccupancyPct != exact.HomeOccupancyPct {
+		t.Errorf("occupancy stats diverged between paths:\nsurface %+v\nexact   %+v",
+			surf.HomeOccupancyPct, exact.HomeOccupancyPct)
+	}
+	if surf.TotalBins != exact.TotalBins || surf.SilentBins != exact.SilentBins {
+		t.Errorf("bin accounting diverged: %d/%d vs %d/%d",
+			surf.TotalBins, surf.SilentBins, exact.TotalBins, exact.SilentBins)
+	}
+	const eps = 1e-6
+	if d := math.Abs(surf.HomeHarvestUW.Mean - exact.HomeHarvestUW.Mean); d > math.Max(eps*exact.HomeHarvestUW.Mean, 1e-3) {
+		t.Errorf("mean harvest diverged beyond ε: surface %v, exact %v µW",
+			surf.HomeHarvestUW.Mean, exact.HomeHarvestUW.Mean)
+	}
+	if d := math.Abs(surf.MeanUpdateRateHz - exact.MeanUpdateRateHz); d > math.Max(eps*exact.MeanUpdateRateHz, 1e-6) {
+		t.Errorf("mean rate diverged beyond ε: surface %v, exact %v Hz",
+			surf.MeanUpdateRateHz, exact.MeanUpdateRateHz)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/phy"
 	"repro/internal/rf"
 	"repro/internal/sensors"
+	"repro/internal/surface"
 	"repro/internal/units"
 )
 
@@ -109,13 +110,47 @@ func (l PowerLink) TotalIncidentW() float64 {
 	return total
 }
 
+// operatingSolver is the bursty operating-point solve shared by the
+// exact path (*harvester.Harvester) and the interpolated path
+// (*surface.Surface); both satisfy it by construction.
+type operatingSolver interface {
+	CanBootBursty(chans []harvester.ChannelPower, occupancy []float64) bool
+	BurstyOperating(chans []harvester.ChannelPower, occupancy []float64) harvester.Operating
+}
+
+// solverFor returns the operating-point solver for h: the shared
+// error-bounded surface unless exact (or the global escape hatch)
+// forces the direct path. The surface pointer is memoized through cache
+// so the per-bin hot path never re-derives the registry key.
+func solverFor(h *harvester.Harvester, exact bool, cache **surface.Surface) operatingSolver {
+	if exact || !surface.Enabled() {
+		return h
+	}
+	if *cache == nil {
+		*cache = surface.For(h)
+	}
+	return *cache
+}
+
 // TempSensorDevice is a complete Wi-Fi-powered temperature sensor (§5.1).
+// Devices are cheap to construct and not safe for concurrent use; give
+// each goroutine its own (the expensive state — the operating-point
+// surface — is shared process-wide behind them).
 type TempSensorDevice struct {
 	Harvester *harvester.Harvester
 	Sensor    *sensors.TemperatureSensor
 	// Battery is the storage for the recharging version (nil for
 	// battery-free).
 	Battery *harvester.Battery
+	// Exact forces the energy methods onto the direct operating-point
+	// solver, bypassing the shared interpolation surface
+	// (internal/surface). The surface certifies a relative error ≤ 1e-6
+	// against the exact solver and makes identical boot decisions, so
+	// Exact matters only when validating the surface itself (the CLIs
+	// expose it as -exact).
+	Exact bool
+
+	surf *surface.Surface // memoized by solverFor
 }
 
 // NewBatteryFreeTempSensor returns the §5.1 battery-free prototype.
@@ -137,10 +172,11 @@ func NewRechargingTempSensor() *TempSensorDevice {
 }
 
 // NetHarvestedW returns the device's net harvested power over the link,
-// evaluated under bursty packet drive.
+// evaluated under bursty packet drive. It uses the same solver selection
+// as Evaluate, so the two methods agree on any device.
 func (d *TempSensorDevice) NetHarvestedW(link PowerLink) float64 {
 	chans, occ := link.FullChannelPowers()
-	return d.Harvester.BurstyOperating(chans, occ).HarvestedW
+	return solverFor(d.Harvester, d.Exact, &d.surf).BurstyOperating(chans, occ).HarvestedW
 }
 
 // UpdateRate returns the sensor's energy-neutral update rate over the
@@ -157,12 +193,19 @@ func (d *TempSensorDevice) UpdateRate(link PowerLink) float64 {
 // hot path must not pay for it twice — and a device that cannot clear
 // cold-start banks nothing, so the cheap boot check short-circuits the
 // solve entirely with (0, 0).
+//
+// By default the solve is served from the shared error-bounded
+// interpolation surface (internal/surface): identical boot decisions,
+// harvested power within the surface's certified ε of the exact solver,
+// and a per-bin cost of a table lookup instead of a Bessel/Newton solve.
+// Set Exact (or disable the surface globally) to force the direct path.
 func (d *TempSensorDevice) Evaluate(link PowerLink) (rateHz, netW float64) {
 	chans, occ := link.FullChannelPowers()
-	if !d.Harvester.CanBootBursty(chans, occ) {
+	s := solverFor(d.Harvester, d.Exact, &d.surf)
+	if !s.CanBootBursty(chans, occ) {
 		return 0, 0
 	}
-	netW = d.Harvester.BurstyOperating(chans, occ).HarvestedW
+	netW = s.BurstyOperating(chans, occ).HarvestedW
 	return d.Sensor.UpdateRate(netW), netW
 }
 
@@ -179,6 +222,11 @@ type CameraDevice struct {
 	StandbyW float64
 	// Battery is set for the recharging version.
 	Battery *harvester.Battery
+	// Exact forces the direct operating-point solver, as on
+	// TempSensorDevice.
+	Exact bool
+
+	surf *surface.Surface // memoized by solverFor
 }
 
 // NewBatteryFreeCamera returns the §5.2 battery-free prototype
@@ -206,7 +254,7 @@ func NewRechargingCamera() *CameraDevice {
 // drain, evaluated under bursty packet drive.
 func (d *CameraDevice) NetHarvestedW(link PowerLink) float64 {
 	chans, occ := link.FullChannelPowers()
-	op := d.Harvester.BurstyOperating(chans, occ)
+	op := solverFor(d.Harvester, d.Exact, &d.surf).BurstyOperating(chans, occ)
 	return op.HarvestedW - d.StandbyW
 }
 

@@ -98,6 +98,38 @@ func TestTempSensorRatesDecreaseWithDistance(t *testing.T) {
 	}
 }
 
+// TestEvaluateSurfaceMatchesExactSolver pins the device-level wiring of
+// the operating-point surface: Evaluate with Exact set must agree with
+// the default (surface-served) path within the surface's certified ε,
+// and make identical boot decisions, across both device versions and a
+// sweep of distances and occupancies.
+func TestEvaluateSurfaceMatchesExactSolver(t *testing.T) {
+	const eps = 1e-6
+	for _, mk := range []func() *TempSensorDevice{NewBatteryFreeTempSensor, NewRechargingTempSensor} {
+		for _, d := range []float64{4, 8, 12, 17, 21, 24} {
+			for _, occ := range []float64{0.2, 0.6, 1.1} {
+				dev := mk()
+				link := PoWiFiLink(d, occ)
+				rate, net := dev.Evaluate(link)
+				dev.Exact = true
+				rateE, netE := dev.Evaluate(link)
+				if (rate > 0) != (rateE > 0) {
+					t.Fatalf("%v at %v ft occ %v: boot decisions diverged (surface %v, exact %v)",
+						dev.Harvester.Version, d, occ, rate, rateE)
+				}
+				if math.Abs(net-netE) > math.Max(eps*math.Abs(netE), 2e-12) {
+					t.Errorf("%v at %v ft occ %v: netW surface %g, exact %g",
+						dev.Harvester.Version, d, occ, net, netE)
+				}
+				if math.Abs(rate-rateE) > math.Max(eps*rateE, 1e-6) {
+					t.Errorf("%v at %v ft occ %v: rate surface %g, exact %g",
+						dev.Harvester.Version, d, occ, rate, rateE)
+				}
+			}
+		}
+	}
+}
+
 func TestRechargingBeatsBatteryFreeBeyond15ft(t *testing.T) {
 	// The Fig. 11 crossover: past 15 ft the battery-assisted harvester
 	// (no cold-start, better sensitivity) wins.

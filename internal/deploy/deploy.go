@@ -68,6 +68,11 @@ type Options struct {
 	Hours float64
 	// SensorDistanceFt places the Fig. 15 sensor (10 ft in the paper).
 	SensorDistanceFt float64
+	// Exact forces the sensor's per-bin rectifier solve onto the direct
+	// operating-point solver instead of the error-bounded interpolation
+	// surface. The surface path is the default: same boot decisions,
+	// harvested power within its certified ε, and a far cheaper bin.
+	Exact bool
 }
 
 // DefaultOptions returns the paper's logging setup with a one-second
@@ -79,6 +84,26 @@ func DefaultOptions() Options {
 		Hours:            24,
 		SensorDistanceFt: 10,
 	}
+}
+
+// withDefaults fills unset timing/placement fields individually, so
+// fields with meaningful zero values (Exact, and whatever comes next)
+// survive a partially specified Options.
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.BinWidth == 0 {
+		o.BinWidth = d.BinWidth
+	}
+	if o.Window == 0 {
+		o.Window = d.Window
+	}
+	if o.Hours == 0 {
+		o.Hours = d.Hours
+	}
+	if o.SensorDistanceFt == 0 {
+		o.SensorDistanceFt = d.SensorDistanceFt
+	}
+	return o
 }
 
 // NumBins returns the number of whole logging bins the deployment
@@ -175,9 +200,7 @@ type BinSample struct {
 // Run simulates one home deployment and materializes the full per-bin
 // log. It is a thin accumulator over RunStream.
 func Run(cfg HomeConfig, opts Options) *Result {
-	if opts.BinWidth == 0 {
-		opts = DefaultOptions()
-	}
+	opts = opts.withDefaults()
 	nBins := opts.NumBins()
 	res := &Result{
 		Home:       cfg,
@@ -204,9 +227,7 @@ func Run(cfg HomeConfig, opts Options) *Result {
 // length and fleet size. The simulation is deterministic in (cfg, opts)
 // alone — the visit callback cannot perturb it.
 func RunStream(cfg HomeConfig, opts Options, visit func(BinSample)) {
-	if opts.BinWidth == 0 {
-		opts = DefaultOptions()
-	}
+	opts = opts.withDefaults()
 	nBins := opts.NumBins()
 	rng := xrand.NewFromLabel(cfg.Seed, "home")
 
@@ -236,6 +257,7 @@ func RunStream(cfg HomeConfig, opts Options, visit func(BinSample)) {
 	}
 
 	sensor := core.NewBatteryFreeTempSensor()
+	sensor.Exact = opts.Exact
 
 	for bin := 0; bin < nBins; bin++ {
 		hour := math.Mod(float64(cfg.StartHour)+float64(bin)*opts.BinWidth.Hours(), 24)

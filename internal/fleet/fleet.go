@@ -98,6 +98,12 @@ type Config struct {
 	// Population holds the household distributions; the zero value
 	// selects DefaultPopulation.
 	Population Population
+	// Exact forces every home's per-bin rectifier solve onto the direct
+	// operating-point solver, bypassing the error-bounded interpolation
+	// surface. The surface path (default) makes identical boot decisions
+	// and stays within its certified ε of the exact solver; -exact exists
+	// to validate that claim on real fleet runs.
+	Exact bool
 }
 
 // DefaultConfig returns a 1000-home, 24-hour fleet run.

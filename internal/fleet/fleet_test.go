@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"math"
 	"reflect"
 	"testing"
 	"time"
@@ -63,6 +64,70 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 	if serial.OccW != parallel.OccW || serial.HarvestW != parallel.HarvestW {
 		t.Error("Welford aggregates diverged across worker counts")
 	}
+}
+
+// TestDeterministicAcrossWorkerCountsExactPath re-pins worker-count
+// invariance with the operating-point surface bypassed: the guarantee
+// must hold on both solver paths, not just the cached default.
+func TestDeterministicAcrossWorkerCountsExactPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: exact rectifier solves per bin")
+	}
+	cfg := testConfig(4, 1)
+	cfg.Exact = true
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Summarize(), parallel.Summarize()) {
+		t.Error("exact-path summaries diverged across worker counts")
+	}
+}
+
+// TestExactVsSurfaceParity is the fleet-level ε check: the same fleet
+// run with and without the operating-point surface must agree exactly on
+// everything occupancy-derived (the surface never touches the packet
+// simulation), bit-for-bit on boot decisions (the guard band resolves
+// threshold-adjacent bins with the exact solver), and within the
+// surface's certified ε on the harvest- and rate-derived means.
+func TestExactVsSurfaceParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: exact rectifier solves per bin")
+	}
+	cfg := testConfig(6, 2)
+	surf, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Exact = true
+	exact, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupancy is computed upstream of the solve: identical, not close.
+	if surf.OccW != exact.OccW {
+		t.Errorf("occupancy moments diverged: surface %+v, exact %+v", surf.OccW, exact.OccW)
+	}
+	if surf.TotalBins != exact.TotalBins || surf.SilentBins != exact.SilentBins {
+		t.Errorf("bin/boot accounting diverged: surface %d/%d, exact %d/%d",
+			surf.TotalBins, surf.SilentBins, exact.TotalBins, exact.SilentBins)
+	}
+	// Harvest and rate pass through the solve: ε-close. The bound is
+	// relative with a small absolute floor for all-silent fleets.
+	const eps = 1e-6
+	close := func(name string, a, b float64) {
+		t.Helper()
+		if math.Abs(a-b) > math.Max(eps*math.Abs(b), 1e-9) {
+			t.Errorf("%s diverged beyond ε: surface %v, exact %v", name, a, b)
+		}
+	}
+	close("mean harvest", surf.HarvestW.Mean, exact.HarvestW.Mean)
+	close("mean rate", surf.RateW.Mean, exact.RateW.Mean)
 }
 
 // TestSingleHomeFleetMatchesDeployRunner pins the shared code path: a

@@ -88,6 +88,7 @@ func runHome(cfg Config, idx int, p *partial) homeStats {
 		Window:           cfg.Window,
 		Hours:            cfg.Hours,
 		SensorDistanceFt: h.SensorFt,
+		Exact:            cfg.Exact,
 	}
 	var (
 		nBins                       int

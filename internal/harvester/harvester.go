@@ -96,12 +96,26 @@ func (h *Harvester) converterLoad() func(v float64) float64 {
 	return h.BQ.InputCurrent
 }
 
+// ConverterLoad exposes the converter's DC load line i(v) so the
+// operating-point surface can tabulate the rectifier solve against the
+// very load the exact solver uses.
+func (h *Harvester) ConverterLoad() func(v float64) float64 { return h.converterLoad() }
+
 // rectifierImpedance returns the complex input impedance of the rectifier
 // (series equivalent of the solver's parallel R with the junction + pad
 // capacitance) when it accepts pacc watts at freqHz with its output at
 // vout volts.
 func (h *Harvester) rectifierImpedance(pacc, vout, freqHz float64) rf.Impedance {
-	rp := h.Rect.InputResistance(pacc, vout)
+	return h.RectifierSeriesImpedance(h.Rect.InputResistance(pacc, vout), freqHz)
+}
+
+// RectifierSeriesImpedance converts a rectifier parallel input resistance
+// rp into the series-equivalent complex impedance at freqHz, folding in
+// the junction + pad capacitance. It is the impedance half of the
+// operating-point solve, split out so a precomputed rp (for example from
+// internal/surface's interpolation tables) can reuse the exact
+// parallel-to-series conversion.
+func (h *Harvester) RectifierSeriesImpedance(rp, freqHz float64) rf.Impedance {
 	cp := h.Rect.InputCapacitance()
 	xp := 1 / (2 * math.Pi * freqHz * cp)
 	if math.IsInf(rp, 1) {
@@ -172,13 +186,19 @@ func (h *Harvester) OperatingPoint(incidentW, freqHz float64) Operating {
 	acc := h.AcceptedPower(incidentW, freqHz)
 	load := h.converterLoad()
 	v, i := h.Rect.OperatingPoint(acc, load)
-	op := Operating{AcceptedW: acc, VRect: v, IRect: i, RectDCW: v * i}
+	return Operating{AcceptedW: acc, VRect: v, IRect: i, RectDCW: v * i,
+		HarvestedW: h.ConverterHarvest(v, i)}
+}
+
+// ConverterHarvest maps a rectifier DC operating point (vout, iout) to the
+// power delivered past this harvester's DC–DC converter: through the Seiko
+// pump for the battery-free version, through the bq25570 (net of quiescent
+// draw) for the battery-recharging version.
+func (h *Harvester) ConverterHarvest(v, i float64) float64 {
 	if h.Version == BatteryFree {
-		op.HarvestedW = h.Seiko.OutputPower(v)
-	} else {
-		op.HarvestedW = h.BQ.NetChargePower(v, i)
+		return h.Seiko.OutputPower(v)
 	}
-	return op
+	return h.BQ.NetChargePower(v, i)
 }
 
 // ChannelPower is incident RF power on one Wi-Fi channel.
@@ -222,13 +242,8 @@ func (h *Harvester) MultiChannelOperatingPoint(chans []ChannelPower) Operating {
 		total = 0.5*total + 0.5*next
 	}
 	v, i := h.Rect.OperatingPoint(total, load)
-	op := Operating{AcceptedW: total, VRect: v, IRect: i, RectDCW: v * i}
-	if h.Version == BatteryFree {
-		op.HarvestedW = h.Seiko.OutputPower(v)
-	} else {
-		op.HarvestedW = h.BQ.NetChargePower(v, i)
-	}
-	return op
+	return Operating{AcceptedW: total, VRect: v, IRect: i, RectDCW: v * i,
+		HarvestedW: h.ConverterHarvest(v, i)}
 }
 
 // CanOperate reports whether the harvester sustains useful output at the
@@ -239,16 +254,17 @@ func (h *Harvester) MultiChannelOperatingPoint(chans []ChannelPower) Operating {
 // positive net charge power.
 func (h *Harvester) CanOperate(incidentW, freqHz float64) bool {
 	if h.Version == BatteryFree {
-		return h.startupVoltage(incidentW, freqHz) >= h.Seiko.StartupV
+		return h.StartupVoltage(incidentW, freqHz) >= h.Seiko.StartupV
 	}
 	op := h.OperatingPoint(incidentW, freqHz)
 	return op.HarvestedW > 0
 }
 
-// startupVoltage returns the rectifier output voltage reached under the
+// StartupVoltage returns the rectifier output voltage reached under the
 // Seiko pump's pre-start idle leak only, resolving the impedance fixed
-// point for that light load.
-func (h *Harvester) startupVoltage(incidentW, freqHz float64) float64 {
+// point for that light load. This is the quantity the cold-start boot
+// check compares against the pump's 300 mV threshold.
+func (h *Harvester) StartupVoltage(incidentW, freqHz float64) float64 {
 	if incidentW <= 0 {
 		return 0
 	}
@@ -309,6 +325,21 @@ func (h *Harvester) BurstyOperating(chans []ChannelPower, occupancy []float64) O
 	if len(chans) == 0 || len(chans) != len(occupancy) {
 		return Operating{}
 	}
+	cond, anyActive, ok := BurstyConditional(chans, occupancy)
+	if !ok {
+		return h.IdleOperating()
+	}
+	return h.FinishBursty(h.MultiChannelOperatingPoint(cond), anyActive)
+}
+
+// BurstyConditional reduces on/off packet-burst drive to the conditional
+// mean drive while at least one channel is active: the per-channel
+// incident powers conditioned on activity, and the any-channel-active
+// probability. ok is false when no channel carries power, in which case
+// the chain idles. This conditioning step is shared verbatim by the exact
+// solver and the interpolated surface so the two paths cannot diverge in
+// their burst model.
+func BurstyConditional(chans []ChannelPower, occupancy []float64) (cond []ChannelPower, anyActive float64, ok bool) {
 	// Probability at least one channel is transmitting.
 	silent := 1.0
 	avgTotal := 0.0
@@ -323,22 +354,33 @@ func (h *Harvester) BurstyOperating(chans []ChannelPower, occupancy []float64) O
 		silent *= 1 - occ
 		avgTotal += c.PowerW * occ
 	}
-	anyActive := 1 - silent
+	anyActive = 1 - silent
 	if anyActive <= 0 || avgTotal <= 0 {
-		if h.Version == BatteryCharging {
-			return Operating{HarvestedW: -h.BQ.QuiescentW}
-		}
-		return Operating{}
+		return nil, anyActive, false
 	}
 	// Conditional mean incident power while active, distributed across
 	// channels in proportion to their average contributions.
-	cond := make([]ChannelPower, len(chans))
+	cond = make([]ChannelPower, len(chans))
 	for i, c := range chans {
 		cond[i] = ChannelPower{FreqHz: c.FreqHz, PowerW: c.PowerW * occupancy[i] / anyActive}
 	}
-	op := h.MultiChannelOperatingPoint(cond)
-	// Time-average the harvest over the active fraction; the quiescent
-	// drain of the battery-charging chain runs around the clock.
+	return cond, anyActive, true
+}
+
+// IdleOperating returns the operating point of a chain with no RF drive:
+// nothing for the battery-free version, the quiescent drain for the
+// battery-recharging version.
+func (h *Harvester) IdleOperating() Operating {
+	if h.Version == BatteryCharging {
+		return Operating{HarvestedW: -h.BQ.QuiescentW}
+	}
+	return Operating{}
+}
+
+// FinishBursty time-averages a conditional operating point back over the
+// active fraction; the quiescent drain of the battery-charging chain runs
+// around the clock.
+func (h *Harvester) FinishBursty(op Operating, anyActive float64) Operating {
 	switch h.Version {
 	case BatteryFree:
 		op.HarvestedW *= anyActive
@@ -352,16 +394,21 @@ func (h *Harvester) BurstyOperating(chans []ChannelPower, occupancy []float64) O
 	return op
 }
 
-// CanBootBursty reports whether the battery-free harvester clears its
-// cold-start threshold under bursty drive: the startup voltage reached at
-// the conditional active power must exceed the 300 mV threshold plus the
-// droop the idle leak causes across a typical silent gap.
-func (h *Harvester) CanBootBursty(chans []ChannelPower, occupancy []float64) bool {
-	if h.Version != BatteryFree {
-		return true
-	}
+// Bursty cold-start constants: typical Wi-Fi busy-period length and the
+// rectifier output node capacitance the silent-gap droop works against.
+const (
+	burstBusyS = 250e-6
+	rectNodeC  = 47e-9
+)
+
+// BootDrive reduces bursty drive to the cold-start check's inputs: the
+// conditional incident power while active, the power-weighted mean
+// frequency, and the voltage droop the idle leak causes across a typical
+// silent gap. ok is false when no channel carries power (the device can
+// never boot). Only meaningful for the battery-free version.
+func (h *Harvester) BootDrive(chans []ChannelPower, occupancy []float64) (condW, freqHz, droopV float64, ok bool) {
 	if len(chans) == 0 || len(chans) != len(occupancy) {
-		return false
+		return 0, 0, 0, false
 	}
 	silent := 1.0
 	total := 0.0
@@ -374,16 +421,25 @@ func (h *Harvester) CanBootBursty(chans []ChannelPower, occupancy []float64) boo
 	}
 	anyActive := 1 - silent
 	if anyActive <= 0 || total <= 0 {
-		return false
+		return 0, 0, 0, false
 	}
-	condPower := total / anyActive
-	freq := freqWeighted / total
-	v := h.startupVoltage(condPower, freq)
 	// Mean silent gap assuming ~250 µs busy periods alternating with
 	// exponential gaps: gap ≈ busy·(1-p)/p.
-	const busy = 250e-6
-	const nodeC = 47e-9
-	gap := busy * silent / anyActive
-	droop := h.Seiko.IdleLeakA * gap / nodeC
-	return v >= h.Seiko.StartupV+droop
+	gap := burstBusyS * silent / anyActive
+	return total / anyActive, freqWeighted / total, h.Seiko.IdleLeakA * gap / rectNodeC, true
+}
+
+// CanBootBursty reports whether the battery-free harvester clears its
+// cold-start threshold under bursty drive: the startup voltage reached at
+// the conditional active power must exceed the 300 mV threshold plus the
+// droop the idle leak causes across a typical silent gap.
+func (h *Harvester) CanBootBursty(chans []ChannelPower, occupancy []float64) bool {
+	if h.Version != BatteryFree {
+		return true
+	}
+	condW, freq, droop, ok := h.BootDrive(chans, occupancy)
+	if !ok {
+		return false
+	}
+	return h.StartupVoltage(condW, freq) >= h.Seiko.StartupV+droop
 }
