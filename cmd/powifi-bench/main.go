@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/surface"
 )
 
@@ -28,6 +29,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	full := fs.Bool("full", false, "run the paper-scale configuration (slower)")
 	exact := fs.Bool("exact", false, "bypass the operating-point surface; solve every operating point exactly")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: powifi-bench [-full] [-exact] <experiment id>... | all\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
@@ -46,6 +49,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		surface.SetEnabled(false)
 		defer surface.SetEnabled(prev)
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, err)
+		}
+	}()
 	ids := fs.Args()
 	if fs.NArg() == 1 && ids[0] == "all" {
 		ids = experiments.IDs()

@@ -25,6 +25,7 @@ import (
 
 	powifi "repro"
 	"repro/internal/fleet"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -47,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		format   = fs.String("format", "text", "output format: text, json or csv")
 		exact    = fs.Bool("exact", false, "bypass the operating-point surface; solve every bin exactly")
 		quiet    = fs.Bool("q", false, "suppress the timing line on stderr")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +65,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "unknown format %q (want text, json or csv)\n", *format)
 		return 2
 	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, err)
+		}
+	}()
 
 	cfg := fleet.Config{
 		Homes:    *homes,

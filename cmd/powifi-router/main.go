@@ -100,7 +100,7 @@ func main() {
 
 	link := core.PowerLink{
 		TxPowerDBm: cfg.TxPowerDBm, TxGainDBi: cfg.AntennaGainDBi, RxGainDBi: 2,
-		DistanceFt: *dist, Occupancy: occ,
+		DistanceFt: *dist, Occupancy: core.OccupancyFromMap(occ),
 	}
 	fmt.Printf("at %.0f ft: incident %.1f µW (%.1f dBm average)\n",
 		*dist, units.Microwatts(link.TotalIncidentW()),

@@ -52,7 +52,7 @@ func main() {
 	sensor := core.NewBatteryFreeTempSensor()
 	link := core.PowerLink{
 		TxPowerDBm: 30, TxGainDBi: 6, RxGainDBi: 2,
-		DistanceFt: 10, Occupancy: occupancy,
+		DistanceFt: 10, Occupancy: core.OccupancyFromMap(occupancy),
 	}
 	rate := sensor.UpdateRate(link)
 	fmt.Printf("battery-free temperature sensor at 10 ft: %.1f reads/s\n", rate)

@@ -15,6 +15,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"time"
 
 	"repro/internal/harvester"
@@ -38,11 +39,35 @@ type PowerLink struct {
 	DistanceFt float64
 	// Wall, if any, sits between them (Fig. 13).
 	Wall rf.WallMaterial
-	// Occupancy maps each channel to the fraction of airtime the router's
-	// transmissions occupy on it.
-	Occupancy map[phy.Channel]float64
+	// Occupancy holds the fraction of airtime the router's transmissions
+	// occupy on each PoWiFi channel, indexed in phy.PoWiFiChannels order
+	// (1, 6, 11). The fixed array keeps the per-bin hot path free of map
+	// traffic; OccupancyFromMap adapts map-shaped callers.
+	Occupancy [3]float64
 	// PathLoss selects the propagation model (free space by default).
 	PathLoss rf.PathLossModel
+}
+
+// OccupancyFromMap converts a per-channel occupancy map to the fixed
+// array PowerLink carries, ignoring channels outside the PoWiFi set.
+func OccupancyFromMap(m map[phy.Channel]float64) [3]float64 {
+	var occ [3]float64
+	for chNum, v := range m {
+		if i := phy.PoWiFiChannelIndex(chNum); i >= 0 {
+			occ[i] = v
+		}
+	}
+	return occ
+}
+
+// OccupancyMap returns the link's per-channel occupancy as a map, the
+// inverse adapter of OccupancyFromMap for map-shaped consumers.
+func (l PowerLink) OccupancyMap() map[phy.Channel]float64 {
+	m := make(map[phy.Channel]float64, len(l.Occupancy))
+	for i, v := range l.Occupancy {
+		m[phy.PoWiFiChannels[i]] = v
+	}
+	return m
 }
 
 // PoWiFiLink returns the standard benchmark link: the prototype router
@@ -55,25 +80,28 @@ func PoWiFiLink(distanceFt, cumulativeOccupancy float64) PowerLink {
 		TxGainDBi:  6,
 		RxGainDBi:  2,
 		DistanceFt: distanceFt,
-		Occupancy: map[phy.Channel]float64{
-			phy.Channel1:  per,
-			phy.Channel6:  per,
-			phy.Channel11: per,
-		},
+		Occupancy:  [3]float64{per, per, per},
 	}
 }
 
 // FullChannelPowers returns the full (packet-burst) incident power per
 // channel at the device, paired with the per-channel occupancy fractions.
 func (l PowerLink) FullChannelPowers() (chans []harvester.ChannelPower, occ []float64) {
-	for _, chNum := range phy.PoWiFiChannels {
-		o, exists := l.Occupancy[chNum]
-		if !exists || o <= 0 {
+	return l.appendChannelPowers(nil, nil)
+}
+
+// appendChannelPowers appends the occupied channels' burst powers and
+// occupancy fractions to the given buffers. Hot paths pass per-device
+// scratch slices so the per-bin evaluation allocates nothing.
+func (l PowerLink) appendChannelPowers(chans []harvester.ChannelPower, occ []float64) ([]harvester.ChannelPower, []float64) {
+	for i, o := range l.Occupancy {
+		if o <= 0 {
 			continue
 		}
 		if o > 1 {
 			o = 1 // a single channel cannot be more than fully occupied
 		}
+		chNum := phy.PoWiFiChannels[i]
 		link := rf.Link{
 			TxPowerDBm: l.TxPowerDBm,
 			TxAntenna:  rf.Antenna{GainDBi: l.TxGainDBi},
@@ -150,7 +178,20 @@ type TempSensorDevice struct {
 	// expose it as -exact).
 	Exact bool
 
-	surf *surface.Surface // memoized by solverFor
+	surf     *surface.Surface // memoized by solverFor
+	chansBuf []harvester.ChannelPower
+	occBuf   []float64 // with chansBuf: per-device scratch for link expansion
+
+	// Link-budget memo: the deployment hot path evaluates the same
+	// geometry (power, gains, distance, wall, model) bin after bin with
+	// only the occupancy changing, and the RF budget is independent of
+	// occupancy. linkKey is the last geometry (occupancy zeroed);
+	// chPowerW the full per-channel received power it produces. Path
+	// loss models must be comparable values for the key to work — both
+	// in-tree models are.
+	linkKey   PowerLink
+	linkValid bool
+	chPowerW  [3]float64
 }
 
 // NewBatteryFreeTempSensor returns the §5.1 battery-free prototype.
@@ -175,8 +216,53 @@ func NewRechargingTempSensor() *TempSensorDevice {
 // evaluated under bursty packet drive. It uses the same solver selection
 // as Evaluate, so the two methods agree on any device.
 func (d *TempSensorDevice) NetHarvestedW(link PowerLink) float64 {
-	chans, occ := link.FullChannelPowers()
+	chans, occ := d.expand(link)
 	return solverFor(d.Harvester, d.Exact, &d.surf).BurstyOperating(chans, occ).HarvestedW
+}
+
+// expand materializes the link's occupied channels into the device's
+// scratch buffers, so per-bin evaluation neither allocates nor re-solves
+// the occupancy-independent RF budget when the geometry is unchanged.
+// Links whose path-loss model is a non-comparable type skip the memo (a
+// cache miss, never a panic).
+func (d *TempSensorDevice) expand(link PowerLink) ([]harvester.ChannelPower, []float64) {
+	if link.PathLoss != nil && !reflect.TypeOf(link.PathLoss).Comparable() {
+		d.chansBuf, d.occBuf = link.appendChannelPowers(d.chansBuf[:0], d.occBuf[:0])
+		return d.chansBuf, d.occBuf
+	}
+	key := link
+	key.Occupancy = [3]float64{}
+	if !d.linkValid || key != d.linkKey {
+		for i, chNum := range phy.PoWiFiChannels {
+			rfl := rf.Link{
+				TxPowerDBm: link.TxPowerDBm,
+				TxAntenna:  rf.Antenna{GainDBi: link.TxGainDBi},
+				RxAntenna:  rf.Antenna{GainDBi: link.RxGainDBi},
+				DistanceM:  units.FeetToMeters(link.DistanceFt),
+				Wall:       link.Wall,
+				Model:      link.PathLoss,
+			}
+			d.chPowerW[i] = rfl.ReceivedPowerW(chNum.FreqHz())
+		}
+		d.linkKey = key
+		d.linkValid = true
+	}
+	chans, occ := d.chansBuf[:0], d.occBuf[:0]
+	for i, o := range link.Occupancy {
+		if o <= 0 {
+			continue
+		}
+		if o > 1 {
+			o = 1 // a single channel cannot be more than fully occupied
+		}
+		chans = append(chans, harvester.ChannelPower{
+			FreqHz: phy.PoWiFiChannels[i].FreqHz(),
+			PowerW: d.chPowerW[i],
+		})
+		occ = append(occ, o)
+	}
+	d.chansBuf, d.occBuf = chans, occ
+	return chans, occ
 }
 
 // UpdateRate returns the sensor's energy-neutral update rate over the
@@ -200,7 +286,7 @@ func (d *TempSensorDevice) UpdateRate(link PowerLink) float64 {
 // and a per-bin cost of a table lookup instead of a Bessel/Newton solve.
 // Set Exact (or disable the surface globally) to force the direct path.
 func (d *TempSensorDevice) Evaluate(link PowerLink) (rateHz, netW float64) {
-	chans, occ := link.FullChannelPowers()
+	chans, occ := d.expand(link)
 	s := solverFor(d.Harvester, d.Exact, &d.surf)
 	if !s.CanBootBursty(chans, occ) {
 		return 0, 0

@@ -15,9 +15,14 @@ import (
 func TestPoWiFiLinkSplitsOccupancyEvenly(t *testing.T) {
 	link := PoWiFiLink(10, 0.9)
 	for _, chNum := range phy.PoWiFiChannels {
-		if occ := link.Occupancy[chNum]; math.Abs(occ-0.3) > 1e-12 {
+		occ := link.Occupancy[phy.PoWiFiChannelIndex(chNum)]
+		if math.Abs(occ-0.3) > 1e-12 {
 			t.Errorf("%v occupancy = %v, want 0.3", chNum, occ)
 		}
+	}
+	// The map adapters round-trip the fixed array.
+	if got := OccupancyFromMap(link.OccupancyMap()); got != link.Occupancy {
+		t.Errorf("OccupancyFromMap(OccupancyMap()) = %v, want %v", got, link.Occupancy)
 	}
 }
 

@@ -17,15 +17,7 @@ import (
 	"math"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/eventsim"
-	"repro/internal/mac"
-	"repro/internal/medium"
-	"repro/internal/monitor"
 	"repro/internal/phy"
-	"repro/internal/router"
-	"repro/internal/traffic"
-	"repro/internal/xrand"
 )
 
 // HomeConfig describes one deployment home (Table 1).
@@ -184,8 +176,10 @@ type BinSample struct {
 	Bin int
 	// HourOfDay is the bin's local time.
 	HourOfDay float64
-	// Occupancy holds per-channel airtime fractions in [0, 1].
-	Occupancy map[phy.Channel]float64
+	// Occupancy holds per-channel airtime fractions in [0, 1], indexed
+	// in phy.PoWiFiChannels order (1, 6, 11). The fixed array keeps the
+	// per-bin streaming path allocation-free.
+	Occupancy [3]float64
 	// CumulativePct is the percentage sum across channels (may exceed 100).
 	CumulativePct float64
 	// SensorRate is the battery-free temperature sensor's update rate
@@ -198,7 +192,9 @@ type BinSample struct {
 }
 
 // Run simulates one home deployment and materializes the full per-bin
-// log. It is a thin accumulator over RunStream.
+// log. It is a thin accumulator over the streaming runner. Options are
+// normalized exactly once on this path (runStream assumes normalized
+// options, so Run and RunStream cannot double-apply the defaults).
 func Run(cfg HomeConfig, opts Options) *Result {
 	opts = opts.withDefaults()
 	nBins := opts.NumBins()
@@ -208,9 +204,9 @@ func Run(cfg HomeConfig, opts Options) *Result {
 		Occupancy:  make(map[phy.Channel][]float64, 3),
 		Cumulative: make([]float64, 0, nBins),
 	}
-	RunStream(cfg, opts, func(s BinSample) {
-		for _, chNum := range phy.PoWiFiChannels {
-			res.Occupancy[chNum] = append(res.Occupancy[chNum], s.Occupancy[chNum]*100)
+	NewSampler().runStream(cfg, opts, func(s BinSample) {
+		for i, chNum := range phy.PoWiFiChannels {
+			res.Occupancy[chNum] = append(res.Occupancy[chNum], s.Occupancy[i]*100)
 		}
 		res.Cumulative = append(res.Cumulative, s.CumulativePct)
 		res.HourOfDay = append(res.HourOfDay, s.HourOfDay)
@@ -226,168 +222,11 @@ func Run(cfg HomeConfig, opts Options) *Result {
 // aggregates and discards it, keeping memory constant in deployment
 // length and fleet size. The simulation is deterministic in (cfg, opts)
 // alone — the visit callback cannot perturb it.
+//
+// Each call builds a fresh sampling context; callers with many homes to
+// run (the fleet's workers) hold a Sampler and call its RunStream
+// method instead, which reuses one pooled context for every bin of
+// every home with bit-for-bit identical output.
 func RunStream(cfg HomeConfig, opts Options, visit func(BinSample)) {
-	opts = opts.withDefaults()
-	nBins := opts.NumBins()
-	rng := xrand.NewFromLabel(cfg.Seed, "home")
-
-	// Distribute neighbor APs across the three channels. Real 2.4 GHz
-	// neighborhoods cluster unevenly on 1/6/11 (auto channel selection
-	// herds APs), which is what makes Fig. 14's per-channel curves differ
-	// so strongly between homes: draw per-home channel weights with a
-	// cubic skew, then assign APs by weight.
-	weights := [3]float64{}
-	wsum := 0.0
-	for i := range weights {
-		u := rng.Float64()
-		weights[i] = u * u * u
-		wsum += weights[i]
-	}
-	apChannels := make(map[phy.Channel]int, 3)
-	for i := 0; i < cfg.NeighborAPs; i++ {
-		u := rng.Float64() * wsum
-		acc := 0.0
-		for j, w := range weights {
-			acc += w
-			if u < acc {
-				apChannels[phy.PoWiFiChannels[j]]++
-				break
-			}
-		}
-	}
-
-	sensor := core.NewBatteryFreeTempSensor()
-	sensor.Exact = opts.Exact
-
-	for bin := 0; bin < nBins; bin++ {
-		hour := math.Mod(float64(cfg.StartHour)+float64(bin)*opts.BinWidth.Hours(), 24)
-		act := activity(hour, cfg.Weekend)
-
-		// Per-bin offered loads.
-		clientLoad := (0.02 + 0.45*act) * float64(cfg.Devices) / 6.0
-		if clientLoad > 0.6 {
-			clientLoad = 0.6
-		}
-		neighborLoad := make(map[phy.Channel]float64, 3)
-		// Iterate channels in fixed order so the RNG draws stay
-		// deterministic (map iteration order would not be).
-		for _, chNum := range phy.PoWiFiChannels {
-			n := apChannels[chNum]
-			if n == 0 {
-				continue
-			}
-			// Each neighbor AP idles at ~1% airtime (beacons, chatter) and
-			// climbs toward ~13% when its household is active (streaming
-			// video dominates evening loads).
-			l := float64(n) * (0.012 + 0.120*act) * rng.Uniform(0.4, 1.6)
-			if l > 0.85 {
-				l = 0.85
-			}
-			neighborLoad[chNum] = l
-		}
-
-		occ := sampleBin(cfg, bin, clientLoad, neighborLoad, opts.Window)
-		cum := 0.0
-		for _, chNum := range phy.PoWiFiChannels {
-			cum += occ[chNum] * 100
-		}
-
-		link := core.PowerLink{
-			TxPowerDBm: 30,
-			TxGainDBi:  6,
-			RxGainDBi:  2,
-			DistanceFt: opts.SensorDistanceFt,
-			Occupancy:  occ,
-		}
-		rate, netW := sensor.Evaluate(link)
-		visit(BinSample{
-			Bin:           bin,
-			HourOfDay:     hour,
-			Occupancy:     occ,
-			CumulativePct: cum,
-			SensorRate:    rate,
-			NetHarvestedW: netW,
-		})
-	}
-}
-
-// sampleBin runs one packet-level window and returns the router's
-// per-channel occupancy fractions.
-func sampleBin(cfg HomeConfig, bin int, clientLoad float64, neighborLoad map[phy.Channel]float64, window time.Duration) map[phy.Channel]float64 {
-	sched := eventsim.New()
-	seed := cfg.Seed*1_000_003 + uint64(bin)
-	channels := make(map[phy.Channel]*medium.Channel, 3)
-	for _, chNum := range phy.PoWiFiChannels {
-		channels[chNum] = medium.NewChannel(chNum, sched)
-	}
-	rcfg := router.DefaultConfig()
-	// Consumer home routers run the injectors on a slow MIPS/ARM SoC that
-	// also handles NAT; the user-space refill latency is several times the
-	// benchmark router's, which caps per-channel occupancy near the
-	// 30-45% the paper's Fig. 14 shows.
-	rcfg.UserWakeCost = 450 * time.Microsecond
-	rt := router.New(rcfg, sched, channels, 100, seed)
-
-	monitors := make(map[phy.Channel]*monitor.Monitor, 3)
-	for i, chNum := range phy.PoWiFiChannels {
-		monitors[chNum] = monitor.New(channels[chNum], window, 100+i)
-	}
-
-	// Neighbor load on each channel, spread over several contending
-	// stations: a crowded neighborhood does not just offer more airtime,
-	// it also fields more DCF contenders, each of which wins transmit
-	// opportunities against our router.
-	for i, chNum := range phy.PoWiFiChannels {
-		load := neighborLoad[chNum]
-		if load <= 0 {
-			continue
-		}
-		stations := 1 + int(load/0.2)
-		if stations > 4 {
-			stations = 4
-		}
-		for k := 0; k < stations; k++ {
-			bg := traffic.NewBackground(sched, channels[chNum], 300+10*i+k,
-				medium.Location{X: 8, Y: 6 + float64(k)}, load/float64(stations),
-				xrand.NewFromLabel(seed, fmt.Sprintf("bg/%v/%d", chNum, k)))
-			bg.Start()
-		}
-	}
-
-	// The home's own client traffic rides channel 1 through the router's
-	// fair queue, competing with the injector exactly as §3.2 describes.
-	if clientLoad > 0 {
-		radio := rt.Radio(phy.Channel1).MAC
-		feedClientLoad(sched, radio, clientLoad, xrand.NewFromLabel(seed, "clients"))
-	}
-
-	rt.Start()
-	sched.RunUntil(window)
-
-	occ := make(map[phy.Channel]float64, 3)
-	for chNum, mon := range monitors {
-		occ[chNum] = mon.MeanOccupancy()
-	}
-	return occ
-}
-
-// feedClientLoad generates downlink client traffic at the router: frames
-// enqueued into the client-flow side of the fair queue at a Poisson rate
-// targeting the given airtime fraction.
-func feedClientLoad(sched *eventsim.Scheduler, radio *mac.Station, load float64, rng *xrand.Rand) {
-	frameAir := float64(phy.Airtime(1500+phy.MACOverheadBytes, phy.Rate54Mbps))
-	mean := frameAir / load
-	var schedule func()
-	schedule = func() {
-		sched.After(time.Duration(rng.Exp(mean)), func() {
-			radio.Enqueue(&mac.Frame{
-				DstID:     medium.Broadcast, // home devices in aggregate
-				Bytes:     1500,
-				Kind:      medium.KindData,
-				FixedRate: phy.Rate54Mbps,
-			})
-			schedule()
-		})
-	}
-	schedule()
+	NewSampler().RunStream(cfg, opts, visit)
 }

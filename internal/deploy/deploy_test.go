@@ -162,8 +162,8 @@ func TestRunStreamAgreesWithRun(t *testing.T) {
 		if s.HourOfDay != res.HourOfDay[i] {
 			t.Fatalf("bin %d hour %v != %v", i, s.HourOfDay, res.HourOfDay[i])
 		}
-		for _, chNum := range phy.PoWiFiChannels {
-			if s.Occupancy[chNum]*100 != res.Occupancy[chNum][i] {
+		for ci, chNum := range phy.PoWiFiChannels {
+			if s.Occupancy[ci]*100 != res.Occupancy[chNum][i] {
 				t.Fatalf("bin %d %v occupancy mismatch", i, chNum)
 			}
 		}

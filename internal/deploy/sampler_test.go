@@ -1,0 +1,115 @@
+package deploy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// randomHome draws an arbitrary home configuration spanning the ranges
+// the fleet synthesizer produces (including zero-device and zero-
+// neighbor corners).
+func randomHome(rng *xrand.Rand) HomeConfig {
+	return HomeConfig{
+		ID:          1 + rng.Intn(1000),
+		Users:       1 + rng.Intn(4),
+		Devices:     rng.Intn(13), // 0 devices = no client feed
+		NeighborAPs: rng.Intn(41), // 0 APs = no contenders anywhere
+		Weekend:     rng.Bool(0.3),
+		StartHour:   rng.Intn(24),
+		Seed:        rng.Uint64(),
+	}
+}
+
+// TestPooledSamplerParity is the bit-for-bit contract of the pooled
+// context: one Sampler reused across many randomized homes produces
+// exactly the streams that fresh per-home contexts produce — same RNG
+// draw order, same event order, hence identical floats in every field.
+func TestPooledSamplerParity(t *testing.T) {
+	rng := xrand.NewFromLabel(7, "sampler/parity")
+	pooled := NewSampler()
+	opts := Options{
+		BinWidth:         45 * time.Minute,
+		Window:           3 * time.Millisecond,
+		Hours:            3,
+		SensorDistanceFt: 9,
+	}
+	for trial := 0; trial < 12; trial++ {
+		cfg := randomHome(rng)
+		// Vary the sensor placement too: it exercises the per-device
+		// link-budget memo across geometry changes.
+		opts.SensorDistanceFt = rng.Uniform(4, 16)
+
+		var fresh, reused []BinSample
+		NewSampler().RunStream(cfg, opts, func(s BinSample) { fresh = append(fresh, s) })
+		pooled.RunStream(cfg, opts, func(s BinSample) { reused = append(reused, s) })
+
+		if len(fresh) != len(reused) {
+			t.Fatalf("trial %d: %d bins fresh vs %d pooled", trial, len(fresh), len(reused))
+		}
+		for i := range fresh {
+			if fresh[i] != reused[i] {
+				t.Fatalf("trial %d bin %d: pooled sample diverged\nfresh:  %+v\npooled: %+v",
+					trial, i, fresh[i], reused[i])
+			}
+		}
+	}
+}
+
+// TestPooledSamplerMatchesPackageRunStream pins the package-level entry
+// point to the pooled path on a paper home (the golden suite pins the
+// same property at full scale).
+func TestPooledSamplerMatchesPackageRunStream(t *testing.T) {
+	cfg := PaperHomes()[3]
+	opts := Options{BinWidth: time.Hour, Window: 2 * time.Millisecond, Hours: 5, SensorDistanceFt: 10}
+	var a, b []BinSample
+	RunStream(cfg, opts, func(s BinSample) { a = append(a, s) })
+	smp := NewSampler()
+	// Run something else first so the pooled context is dirty.
+	smp.RunStream(PaperHomes()[0], opts, func(BinSample) {})
+	smp.RunStream(cfg, opts, func(s BinSample) { b = append(b, s) })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bin %d: dirty pooled context diverged from RunStream", i)
+		}
+	}
+}
+
+// TestSampleBinAllocBudget pins the tentpole's steady-state allocation
+// contract: once pools are warm, one packet-level bin costs at most 10
+// heap allocations (in practice zero — the budget leaves headroom for
+// the conditional-drive slices the solver layer allocates on booting
+// links).
+func TestSampleBinAllocBudget(t *testing.T) {
+	smp := NewSampler()
+	seed, clientLoad, neighborLoad, window := benchBinInputs()
+	smp.sampleBin(seed, clientLoad, neighborLoad, window) // warm pools
+	bin := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		bin++
+		smp.sampleBin(seed+uint64(bin), clientLoad, neighborLoad, window)
+	})
+	if allocs > 10 {
+		t.Errorf("steady-state sampleBin allocs/bin = %v, budget is 10", allocs)
+	}
+	t.Logf("steady-state allocs/bin = %v", allocs)
+}
+
+// TestRunStreamAllocBudget extends the allocation budget to the whole
+// streaming path: packet sample plus sensor evaluation per bin.
+func TestRunStreamAllocBudget(t *testing.T) {
+	smp := NewSampler()
+	opts := Options{BinWidth: time.Hour, Window: 2 * time.Millisecond, Hours: 2, SensorDistanceFt: 10}
+	home := PaperHomes()[2]
+	visit := func(BinSample) {}
+	smp.RunStream(home, opts, visit) // warm pools and the shared surface
+	allocs := testing.AllocsPerRun(20, func() {
+		smp.RunStream(home, opts, visit)
+	})
+	perBin := allocs / float64(opts.NumBins())
+	if perBin > 10 {
+		t.Errorf("steady-state RunStream allocs/bin = %v, budget is 10", perBin)
+	}
+	t.Logf("steady-state RunStream allocs/bin = %v", perBin)
+}

@@ -1,0 +1,32 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelSteadyState measures the allocation-free schedule+fire
+// cycle with a realistic pending-queue depth (the deploy sampler holds
+// roughly a dozen events in flight).
+func BenchmarkKernelSteadyState(b *testing.B) {
+	s := New()
+	const depth = 12
+	var fire func(ctx any)
+	remaining := 0
+	fire = func(ctx any) {
+		if remaining > 0 {
+			remaining--
+			s.AfterCtx(time.Microsecond, fire, nil)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += depth {
+		s.Reset()
+		remaining = depth
+		for j := 0; j < depth; j++ {
+			s.AfterCtx(time.Duration(j)*time.Microsecond, fire, nil)
+		}
+		s.Run()
+	}
+}

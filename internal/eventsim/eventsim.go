@@ -2,66 +2,143 @@
 // drives all protocol-level experiments.
 //
 // The whole simulator is single-threaded and deterministic: components
-// schedule closures at future virtual times on a binary-heap event queue,
+// schedule callbacks at future virtual times on a binary-heap event queue,
 // and the scheduler runs them in (time, sequence) order. Ties are broken by
 // insertion order so that runs are reproducible bit-for-bit. Virtual time
 // is a time.Duration measured from the start of the simulation; at 2.4 GHz
 // Wi-Fi timescales (9 µs slots, 100 µs packets, 24 h deployments)
 // nanosecond resolution in an int64 comfortably covers every experiment.
+//
+// The kernel is allocation-free in steady state: fired events are recycled
+// through a per-scheduler free list, and the two-argument scheduling forms
+// (AtCtx/AfterCtx) let hot-path components pass a long-lived callback plus
+// a context word instead of allocating a fresh closure per event. Handles
+// returned by the scheduling calls carry a generation number, so a stale
+// Cancel on an already-recycled event is a guaranteed no-op.
 package eventsim
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
-// Event is a scheduled callback. Cancelling an event prevents its callback
-// from running but leaves it in the heap until it pops (lazy deletion).
+// Event is a scheduled callback, owned by its scheduler. Fired and
+// cancelled events are recycled through the scheduler's free list, so
+// components never hold a bare *Event — they hold a Handle, whose
+// generation check makes use-after-recycle harmless.
 type Event struct {
 	at        time.Duration
-	seq       uint64
-	fn        func()
+	fn        func(ctx any)
+	ctx       any
+	gen       uint64 // bumped at recycle; validates Handles
+	id        int32  // index in the scheduler's pool table
 	cancelled bool
-	index     int // heap index, -1 when popped
+	next      *Event // free-list link
+}
+
+// Handle identifies one scheduling of an event. The zero Handle is valid
+// and refers to nothing: Cancel on it is a no-op.
+type Handle struct {
+	e   *Event
+	gen uint64
 }
 
 // Cancel prevents the event's callback from running. Safe to call more
-// than once, and safe to call after the event has fired (a no-op).
-func (e *Event) Cancel() { e.cancelled = true }
-
-// Cancelled reports whether Cancel has been called.
-func (e *Event) Cancelled() bool { return e.cancelled }
-
-// At returns the virtual time at which the event is scheduled.
-func (e *Event) At() time.Duration { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// than once, safe on the zero Handle, and safe after the event has fired
+// (the generation check turns a stale cancel into a no-op).
+func (h Handle) Cancel() {
+	if h.e != nil && h.e.gen == h.gen {
+		h.e.cancelled = true
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// Cancelled reports whether Cancel has been called on this scheduling.
+// A fired-and-recycled event reports false (it can no longer be
+// cancelled).
+func (h Handle) Cancelled() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.cancelled
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// At returns the virtual time this scheduling fires at, or zero if the
+// event has already fired and been recycled.
+func (h Handle) At() time.Duration {
+	if h.e == nil || h.e.gen != h.gen {
+		return 0
+	}
+	return h.e.at
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// heapEntry is one queued scheduling: the (time, sequence) sort key
+// inline plus the pooled event's id, packed to 16 bytes. The heap holds
+// plain values, so sift shifts are pointer-free (no GC write barriers)
+// and key compares hit a single contiguous cache line — both matter
+// because heap traffic is the kernel's single largest steady-state cost
+// once events stop allocating.
+//
+// seqid packs (seq << 32) | id: entries with equal times order by
+// sequence (the id bits only break ties between equal sequences, which
+// cannot occur — sequences are unique). The scheduler guards the 2³²
+// sequence capacity per Reset with an explicit check.
+type heapEntry struct {
+	at    time.Duration
+	seqid uint64
+}
+
+// entryLess orders entries by (time, sequence) — the kernel's
+// determinism contract.
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seqid < b.seqid
+}
+
+// eventHeap is a hand-rolled binary min-heap of heapEntry values.
+type eventHeap []heapEntry
+
+// push sifts the new entry up with hole shifting: parents slide down
+// one copy each until the insertion point is found, instead of paying a
+// three-assignment swap per level.
+func (h *eventHeap) push(e heapEntry) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(e, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = e
+	*h = q
+}
+
+// pop removes the minimum, then sifts the displaced last entry down a
+// hole-shifted path.
+func (h *eventHeap) pop() heapEntry {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	e := q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && entryLess(q[r], q[l]) {
+			l = r
+		}
+		if !entryLess(q[l], e) {
+			break
+		}
+		q[i] = q[l]
+		i = l
+	}
+	if n > 0 {
+		q[i] = e
+	}
+	return top
 }
 
 // Scheduler is the simulation event loop. The zero value is ready to use.
@@ -70,6 +147,8 @@ type Scheduler struct {
 	seq     uint64
 	events  eventHeap
 	stopped bool
+	free    *Event   // recycled events
+	pool    []*Event // id → event, every event this scheduler ever made
 }
 
 // New returns a fresh scheduler with virtual time zero.
@@ -78,22 +157,74 @@ func New() *Scheduler { return &Scheduler{} }
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// (t < Now) runs the event at the current time instead — simulated hardware
-// cannot act retroactively, and clamping keeps component math simple.
-func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+// callClosure invokes a nullary closure carried as the context word. It
+// is the shared trampoline behind At/After, so the closure-taking API
+// costs no allocation beyond the caller's own closure.
+func callClosure(ctx any) { ctx.(func())() }
+
+// schedule places a callback+context pair on the queue at absolute time
+// t, recycling a free-listed event when one is available.
+func (s *Scheduler) schedule(t time.Duration, fn func(ctx any), ctx any) Handle {
 	if t < s.now {
+		// Simulated hardware cannot act retroactively; clamping keeps
+		// component math simple.
 		t = s.now
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	e := s.free
+	if e != nil {
+		s.free = e.next
+		e.next = nil
+		e.cancelled = false
+	} else {
+		e = &Event{id: int32(len(s.pool))}
+		s.pool = append(s.pool, e)
+	}
+	e.at = t
+	e.fn = fn
+	e.ctx = ctx
+	if s.seq >= 1<<32 {
+		// The packed heap key carries 32 sequence bits per Reset; at
+		// realistic event rates this is years of simulated traffic.
+		panic("eventsim: sequence counter exceeded 2^32; Reset the scheduler")
+	}
+	s.events.push(heapEntry{at: t, seqid: s.seq<<32 | uint64(uint32(e.id))})
 	s.seq++
-	heap.Push(&s.events, e)
-	return e
+	return Handle{e: e, gen: e.gen}
+}
+
+// recycle returns a popped event to the free list, invalidating any
+// outstanding Handles to it. fn and ctx are deliberately left in place
+// — the next schedule overwrites them, and skipping the clears keeps
+// the recycle path to two stores (the stale references pin at most a
+// free-list's worth of dead callbacks, which the pools above already
+// keep alive anyway).
+func (s *Scheduler) recycle(e *Event) {
+	e.gen++
+	e.next = s.free
+	s.free = e
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) runs the event at the current time instead.
+func (s *Scheduler) At(t time.Duration, fn func()) Handle {
+	return s.schedule(t, callClosure, fn)
 }
 
 // After schedules fn to run d after the current virtual time.
-func (s *Scheduler) After(d time.Duration, fn func()) *Event {
-	return s.At(s.now+d, fn)
+func (s *Scheduler) After(d time.Duration, fn func()) Handle {
+	return s.schedule(s.now+d, callClosure, fn)
+}
+
+// AtCtx schedules fn(ctx) at absolute virtual time t. Unlike At, it
+// allocates nothing when fn is a long-lived func value and ctx is a
+// pointer — the hot-path form for per-event callbacks.
+func (s *Scheduler) AtCtx(t time.Duration, fn func(ctx any), ctx any) Handle {
+	return s.schedule(t, fn, ctx)
+}
+
+// AfterCtx schedules fn(ctx) to run d after the current virtual time.
+func (s *Scheduler) AfterCtx(d time.Duration, fn func(ctx any), ctx any) Handle {
+	return s.schedule(s.now+d, fn, ctx)
 }
 
 // Stop halts the run loop after the currently executing event returns.
@@ -102,6 +233,20 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Pending returns the number of events still queued (including cancelled
 // ones awaiting lazy deletion).
 func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Reset drains all queued events into the free list and rewinds the
+// clock and sequence counter to zero, making the scheduler ready for a
+// fresh run without releasing any of its memory. Outstanding Handles are
+// invalidated by the drain.
+func (s *Scheduler) Reset() {
+	for _, entry := range s.events {
+		s.recycle(s.pool[uint32(entry.seqid)])
+	}
+	s.events = s.events[:0]
+	s.now = 0
+	s.seq = 0
+	s.stopped = false
+}
 
 // Run processes events until the queue empties or Stop is called.
 func (s *Scheduler) Run() {
@@ -128,14 +273,20 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 	}
 }
 
-// step pops and executes the earliest event.
+// step pops and executes the earliest event, then recycles it.
 func (s *Scheduler) step() {
-	e := heap.Pop(&s.events).(*Event)
+	entry := s.events.pop()
+	e := s.pool[uint32(entry.seqid)]
 	if e.cancelled {
+		s.recycle(e)
 		return
 	}
-	s.now = e.at
-	e.fn()
+	s.now = entry.at
+	fn, ctx := e.fn, e.ctx
+	// Recycle before running so the callback's own scheduling can reuse
+	// the slot; the entry is already off the heap, so this is safe.
+	s.recycle(e)
+	fn(ctx)
 }
 
 // Ticker invokes fn every interval until cancelled, starting one interval
@@ -144,7 +295,7 @@ func (s *Scheduler) Ticker(interval time.Duration, fn func()) (cancel func()) {
 	if interval <= 0 {
 		panic("eventsim: non-positive ticker interval")
 	}
-	var ev *Event
+	var ev Handle
 	stopped := false
 	var tick func()
 	tick = func() {
@@ -159,8 +310,6 @@ func (s *Scheduler) Ticker(interval time.Duration, fn func()) (cancel func()) {
 	ev = s.After(interval, tick)
 	return func() {
 		stopped = true
-		if ev != nil {
-			ev.Cancel()
-		}
+		ev.Cancel()
 	}
 }

@@ -77,12 +77,12 @@ func TestCancelPreventsExecution(t *testing.T) {
 	ran := false
 	e := s.At(time.Millisecond, func() { ran = true })
 	e.Cancel()
+	if !e.Cancelled() {
+		t.Error("Cancelled() should report true while the event is pending")
+	}
 	s.Run()
 	if ran {
 		t.Error("cancelled event still ran")
-	}
-	if !e.Cancelled() {
-		t.Error("Cancelled() should report true")
 	}
 }
 
@@ -180,6 +180,83 @@ func TestTickerPanicsOnNonPositiveInterval(t *testing.T) {
 		}
 	}()
 	New().Ticker(0, func() {})
+}
+
+func TestResetDrainsAndRewinds(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(10*time.Microsecond, func() { ran = true })
+	s.At(20*time.Microsecond, func() { ran = true })
+	s.Reset()
+	if s.Pending() != 0 {
+		t.Fatalf("pending after Reset = %d, want 0", s.Pending())
+	}
+	s.Run()
+	if ran {
+		t.Error("drained event still ran")
+	}
+	if s.Now() != 0 {
+		t.Errorf("Now after Reset = %v, want 0", s.Now())
+	}
+	// A reset scheduler replays the same (time, seq) order from scratch.
+	var order []int
+	s.At(time.Millisecond, func() { order = append(order, 1) })
+	s.At(time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("post-Reset order = %v, want [1 2]", order)
+	}
+}
+
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	s := New()
+	h := s.At(time.Microsecond, func() {})
+	s.Run() // fires and recycles the event
+	ran := false
+	s.At(time.Millisecond, func() { ran = true }) // reuses the slot
+	h.Cancel()                                    // stale: must not touch the reused event
+	if h.Cancelled() {
+		t.Error("stale handle reports Cancelled")
+	}
+	s.Run()
+	if !ran {
+		t.Error("stale Cancel killed a recycled event")
+	}
+}
+
+func TestZeroHandleIsInert(t *testing.T) {
+	var h Handle
+	h.Cancel()
+	if h.Cancelled() || h.At() != 0 {
+		t.Error("zero Handle should be inert")
+	}
+}
+
+// TestSteadyStateSchedulingIsAllocationFree pins the kernel's core
+// contract: once the heap and free list have grown to a workload's
+// high-water mark, scheduling and firing events allocates nothing.
+func TestSteadyStateSchedulingIsAllocationFree(t *testing.T) {
+	s := New()
+	var fire func(ctx any)
+	fire = func(ctx any) {
+		n := ctx.(*int)
+		if *n > 0 {
+			*n--
+			s.AfterCtx(time.Microsecond, fire, n)
+		}
+	}
+	n := 100
+	s.AfterCtx(time.Microsecond, fire, &n)
+	s.Run() // grow free list / heap
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Reset()
+		n = 100
+		s.AfterCtx(time.Microsecond, fire, &n)
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state kernel allocs/run = %v, want 0", allocs)
+	}
 }
 
 // Property: with random schedule times, events always execute in

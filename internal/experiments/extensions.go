@@ -147,7 +147,7 @@ func RunExtPDoS(attackerLoad float64, perRun time.Duration, seed uint64) *PDoSRe
 		sensor := core.NewBatteryFreeTempSensor()
 		link := core.PowerLink{
 			TxPowerDBm: 30, TxGainDBi: 6, RxGainDBi: 2,
-			DistanceFt: 10, Occupancy: occ,
+			DistanceFt: 10, Occupancy: core.OccupancyFromMap(occ),
 		}
 		return total * 100, sensor.UpdateRate(link)
 	}
@@ -229,13 +229,11 @@ func RunExtMultiChannel(distanceFt float64, seed uint64) *MultiChannelAblation {
 	res := &MultiChannelAblation{DistanceFt: distanceFt}
 	single := core.PowerLink{
 		TxPowerDBm: 30, TxGainDBi: 6, RxGainDBi: 2, DistanceFt: distanceFt,
-		Occupancy: map[phy.Channel]float64{phy.Channel6: ceiling},
+		Occupancy: core.OccupancyFromMap(map[phy.Channel]float64{phy.Channel6: ceiling}),
 	}
 	tri := core.PowerLink{
 		TxPowerDBm: 30, TxGainDBi: 6, RxGainDBi: 2, DistanceFt: distanceFt,
-		Occupancy: map[phy.Channel]float64{
-			phy.Channel1: ceiling, phy.Channel6: ceiling, phy.Channel11: ceiling,
-		},
+		Occupancy: [3]float64{ceiling, ceiling, ceiling},
 	}
 	dev := core.NewBatteryFreeTempSensor()
 	res.SingleChRate = dev.UpdateRate(single)

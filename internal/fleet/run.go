@@ -4,8 +4,13 @@ import (
 	"sync"
 
 	"repro/internal/deploy"
-	"repro/internal/phy"
+	"repro/internal/xrand"
 )
+
+// samplerPool recycles pooled sampling contexts across fleet runs. A
+// Sampler fully re-derives its state from (seed, labels) on every bin,
+// so reuse across runs is as output-invisible as reuse across homes.
+var samplerPool = sync.Pool{New: func() any { return deploy.NewSampler() }}
 
 // Run executes the fleet simulation: cfg.Homes independent single-home
 // deployments sharded across cfg.Workers workers, streamed into the
@@ -24,6 +29,26 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res := newResult(cfg)
 
+	// Serial fast path: with one worker there is no sharding to
+	// coordinate, and the channel/goroutine handoffs per home are pure
+	// overhead (meaningful on single-core hosts). The reduce order is
+	// trivially home-index order, and the pooled per-bin aggregates can
+	// fold straight into the result's sketches — integer-count adds are
+	// exactly what a worker-sketch-then-merge computes — so the output
+	// is identical to the sharded path by construction.
+	if cfg.Workers == 1 {
+		p := &partial{binOcc: res.BinOcc, harvest: res.Harvest, latency: res.Latency}
+		smp := samplerPool.Get().(*deploy.Sampler)
+		synthRng := xrand.New(0)
+		for i := 0; i < cfg.Homes; i++ {
+			res.addHome(runHome(cfg, i, p, smp, synthRng))
+		}
+		samplerPool.Put(smp)
+		res.SilentBins += p.silentBins
+		res.TotalBins += p.totalBins
+		return res, nil
+	}
+
 	type msg struct {
 		idx int
 		hs  homeStats
@@ -38,9 +63,16 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One pooled sampling context per worker: scheduler, channels,
+			// router, monitors and traffic sources are built once and reset
+			// per bin, so the steady-state hot path stops paying allocator
+			// and GC tax. Pooling is output-invisible (see deploy.Sampler).
+			smp := samplerPool.Get().(*deploy.Sampler)
+			synthRng := xrand.New(0)
 			for idx := range jobs {
-				out <- msg{idx, runHome(cfg, idx, p)}
+				out <- msg{idx, runHome(cfg, idx, p, smp, synthRng)}
 			}
+			samplerPool.Put(smp)
 		}()
 	}
 	go func() {
@@ -79,10 +111,11 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runHome simulates one synthesized home, streaming its bins into the
-// worker's pooled partial and returning the home's scalar summary.
-func runHome(cfg Config, idx int, p *partial) homeStats {
-	h := SynthesizeHome(cfg, idx)
+// runHome simulates one synthesized home on the worker's pooled
+// sampler, streaming its bins into the worker's pooled partial and
+// returning the home's scalar summary.
+func runHome(cfg Config, idx int, p *partial, smp *deploy.Sampler, synthRng *xrand.Rand) homeStats {
+	h := synthesizeHome(synthRng, cfg, idx)
 	opts := deploy.Options{
 		BinWidth:         cfg.BinWidth,
 		Window:           cfg.Window,
@@ -95,11 +128,11 @@ func runHome(cfg Config, idx int, p *partial) homeStats {
 		sumCum, sumHarvest, sumRate float64
 		sumCh                       [3]float64
 	)
-	deploy.RunStream(h.HomeConfig, opts, func(s deploy.BinSample) {
+	smp.RunStream(h.HomeConfig, opts, func(s deploy.BinSample) {
 		nBins++
 		sumCum += s.CumulativePct
-		for i, chNum := range phy.PoWiFiChannels {
-			sumCh[i] += s.Occupancy[chNum] * 100
+		for i := range sumCh {
+			sumCh[i] += s.Occupancy[i] * 100
 		}
 		// A silent bin banks nothing (Evaluate reports 0 when the chain
 		// cannot boot); clamp the below-sensitivity negative case so the

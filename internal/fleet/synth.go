@@ -1,8 +1,6 @@
 package fleet
 
 import (
-	"fmt"
-
 	"repro/internal/deploy"
 	"repro/internal/xrand"
 )
@@ -20,7 +18,16 @@ type Home struct {
 // count, scheduling, or which homes were synthesized before — so any
 // shard of the fleet can regenerate its homes independently.
 func SynthesizeHome(cfg Config, i int) Home {
-	rng := xrand.NewFromLabel(cfg.Seed, fmt.Sprintf("fleet/home/%d", i))
+	return synthesizeHome(xrand.New(0), cfg, i)
+}
+
+// synthesizeHome is SynthesizeHome drawing through a caller-owned
+// generator, which the hot loop reseeds in place instead of allocating
+// one per home.
+func synthesizeHome(rng *xrand.Rand, cfg Config, i int) Home {
+	// Equivalent to NewFromLabel(seed, fmt.Sprintf("fleet/home/%d", i))
+	// without the per-home formatting.
+	rng.Reseed(xrand.LabelSeedInt(cfg.Seed, "fleet/home/", i))
 	p := cfg.Population
 
 	users := p.MinUsers + rng.Intn(p.MaxUsers-p.MinUsers+1)

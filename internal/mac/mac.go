@@ -48,12 +48,13 @@ const (
 
 // Station is an 802.11 DCF station bound to one channel.
 type Station struct {
-	id   int
-	name string
-	loc  medium.Location
-	ch   *medium.Channel
-	sch  *eventsim.Scheduler
-	rng  *xrand.Rand
+	id    int
+	name  string
+	loc   medium.Location
+	ch    *medium.Channel
+	chIdx int // attachment index on ch (medium fast paths)
+	sch   *eventsim.Scheduler
+	rng   *xrand.Rand
 
 	// TxPower and antenna configuration.
 	PowerDBm float64
@@ -87,10 +88,25 @@ type Station struct {
 	slotsLeft     int
 	ackBusyUntil  time.Duration
 	backoffStart  time.Duration
-	pendingAccess *eventsim.Event
-	ackTimeout    *eventsim.Event
+	pendingAccess eventsim.Handle
+	ackTimeout    eventsim.Handle
 	current       *Frame
 	currentTx     *medium.Transmission
+
+	// Long-lived access-timer callbacks, bound once at construction so
+	// the per-access scheduling in waitDIFS/resumeBackoff/transmit
+	// allocates no closures and dispatches without the nullary-closure
+	// trampoline (the DCF hot path fires these thousands of times per
+	// sampled bin).
+	difsFireFn    func(any)
+	backoffFireFn func(any)
+	ackBusyFn     func(any)
+	ackTimeoutFn  func()
+
+	// Frame pool: frames handed out by NewFrame are reused after Reset,
+	// so steady-state traffic generation allocates nothing.
+	framePool []*Frame
+	frameNext int
 
 	// Stats.
 	TxFrames      int
@@ -115,9 +131,72 @@ func NewStation(id int, name string, loc medium.Location, ch *medium.Channel, rn
 		Qdisc:    NewFIFO(50),
 		cw:       phy.CWMin,
 	}
-	ch.AddStation(s)
+	s.difsFireFn = func(any) {
+		if s.slotsLeft > 0 {
+			s.resumeBackoff()
+		} else {
+			s.transmit()
+		}
+	}
+	s.backoffFireFn = func(any) {
+		s.slotsLeft = 0
+		s.transmit()
+	}
+	s.ackBusyFn = func(any) { s.waitDIFS() }
+	s.ackTimeoutFn = s.onAckTimeout
+	s.chIdx = ch.AddStation(s)
 	return s
 }
+
+// NewFrame returns a zeroed frame from the station's pool. Pooled frames
+// are owned by the MAC until the next Reset, which makes them safe for
+// any traffic source whose frames die within one sampled window (the
+// deploy sampler's power packets, beacons, client and background load).
+func (s *Station) NewFrame() *Frame {
+	if s.frameNext < len(s.framePool) {
+		f := s.framePool[s.frameNext]
+		s.frameNext++
+		*f = Frame{}
+		return f
+	}
+	f := &Frame{}
+	s.framePool = append(s.framePool, f)
+	s.frameNext++
+	return f
+}
+
+// Reset returns the station to its just-constructed state — idle, empty
+// queue, minimum contention window, zeroed stats — while keeping its
+// channel attachment, pools and callback bindings. The caller is
+// responsible for reseeding the station's RNG stream; together the two
+// steps make a pooled station bit-for-bit equivalent to a fresh one.
+func (s *Station) Reset() {
+	s.st = stIdle
+	s.cw = phy.CWMin
+	s.slotsLeft = 0
+	s.ackBusyUntil = 0
+	s.backoffStart = 0
+	s.pendingAccess = eventsim.Handle{}
+	s.ackTimeout = eventsim.Handle{}
+	s.current = nil
+	s.currentTx = nil
+	s.frameNext = 0
+	if r, ok := s.RateCtl.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+	s.TxFrames = 0
+	s.TxFailed = 0
+	s.RxFrames = 0
+	s.QueueDrops = 0
+	s.TxAirtimeData = 0
+	if r, ok := s.Qdisc.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+}
+
+// RNG returns the station's random stream, so a pooling layer can
+// reseed it in place between runs.
+func (s *Station) RNG() *xrand.Rand { return s.rng }
 
 // StationID implements medium.Station.
 func (s *Station) StationID() int { return s.id }
@@ -176,16 +255,10 @@ func (s *Station) startAccess() {
 // station stays deferring until OnChannelIdle re-arms it.
 func (s *Station) waitDIFS() {
 	s.st = stWaitDIFS
-	if !s.IgnoreCS && s.ch.Senses(s) {
+	if !s.IgnoreCS && s.ch.SensesIdx(s.chIdx) {
 		return // OnChannelIdle will call waitDIFS again
 	}
-	s.pendingAccess = s.sch.After(phy.DIFS, func() {
-		if s.slotsLeft > 0 {
-			s.resumeBackoff()
-		} else {
-			s.transmit()
-		}
-	})
+	s.pendingAccess = s.sch.AfterCtx(phy.DIFS, s.difsFireFn, nil)
 }
 
 // beginBackoff draws a fresh backoff and starts counting it down.
@@ -200,18 +273,13 @@ func (s *Station) resumeBackoff() {
 	s.st = stBackoff
 	s.backoffStart = s.sch.Now()
 	d := time.Duration(s.slotsLeft) * phy.SlotTime
-	s.pendingAccess = s.sch.After(d, func() {
-		s.slotsLeft = 0
-		s.transmit()
-	})
+	s.pendingAccess = s.sch.AfterCtx(d, s.backoffFireFn, nil)
 }
 
 // pauseBackoff freezes the countdown when the channel goes busy.
 func (s *Station) pauseBackoff() {
-	if s.pendingAccess != nil {
-		s.pendingAccess.Cancel()
-		s.pendingAccess = nil
-	}
+	s.pendingAccess.Cancel()
+	s.pendingAccess = eventsim.Handle{}
 	if s.st == stBackoff {
 		elapsed := int((s.sch.Now() - s.backoffStart) / phy.SlotTime)
 		if elapsed > s.slotsLeft {
@@ -263,12 +331,12 @@ func (s *Station) transmit() {
 		// Our own control-ACK response is still on the air; a station
 		// cannot transmit two frames at once.
 		s.st = stWaitDIFS
-		s.pendingAccess = s.sch.At(s.ackBusyUntil, func() { s.waitDIFS() })
+		s.pendingAccess = s.sch.AtCtx(s.ackBusyUntil, s.ackBusyFn, nil)
 		return
 	}
 	s.st = stTx
 	rate := s.rate(f)
-	s.currentTx = s.ch.StartTx(s, f.DstID, f.Bytes+phy.MACOverheadBytes, rate, f.Kind, f)
+	s.currentTx = s.ch.StartTxFrom(s.chIdx, s, f.DstID, f.Bytes+phy.MACOverheadBytes, rate, f.Kind, f)
 	s.TxFrames++
 	s.TxAirtimeData += s.currentTx.Airtime()
 }
@@ -288,7 +356,7 @@ func (s *Station) OnTxComplete(tx *medium.Transmission) {
 	// Unicast: wait for the ACK.
 	s.st = stWaitAck
 	timeout := phy.SIFS + phy.AckAirtime(tx.Rate) + 2*phy.SlotTime
-	s.ackTimeout = s.sch.After(timeout, s.onAckTimeout)
+	s.ackTimeout = s.sch.After(timeout, s.ackTimeoutFn)
 }
 
 // onAckTimeout handles a missing ACK: exponential backoff and retry.
@@ -335,10 +403,8 @@ func (s *Station) OnReceive(tx *medium.Transmission, ok bool) {
 	switch tx.Kind {
 	case medium.KindAck:
 		if s.st == stWaitAck && s.current != nil {
-			if s.ackTimeout != nil {
-				s.ackTimeout.Cancel()
-				s.ackTimeout = nil
-			}
+			s.ackTimeout.Cancel()
+			s.ackTimeout = eventsim.Handle{}
 			s.RateCtl.OnSuccess()
 			s.finishFrame(true)
 		}
@@ -351,7 +417,7 @@ func (s *Station) OnReceive(tx *medium.Transmission, ok bool) {
 			ackDur := phy.AckAirtime(tx.Rate)
 			s.ackBusyUntil = s.sch.Now() + phy.SIFS + ackDur + time.Microsecond
 			s.sch.After(phy.SIFS, func() {
-				s.ch.StartTx(s, src.StationID(), phy.ACKBytes, phy.AckRate(tx.Rate), medium.KindAck, nil)
+				s.ch.StartTxFrom(s.chIdx, s, src.StationID(), phy.ACKBytes, phy.AckRate(tx.Rate), medium.KindAck, nil)
 			})
 			// A station cannot hear (or carrier-sense) its own control
 			// response, so explicitly hold our DCF contention until the
@@ -360,7 +426,7 @@ func (s *Station) OnReceive(tx *medium.Transmission, ok bool) {
 			if s.st == stWaitDIFS || s.st == stBackoff {
 				s.pauseBackoff()
 				s.sch.After(phy.SIFS+ackDur+time.Microsecond, func() {
-					if s.st == stWaitDIFS && !s.ch.Senses(s) {
+					if s.st == stWaitDIFS && !s.ch.SensesIdx(s.chIdx) {
 						s.waitDIFS()
 					}
 				})

@@ -18,11 +18,15 @@ type QueueDiscipline interface {
 	Len() int
 }
 
-// FIFO is a drop-tail first-in-first-out queue.
+// FIFO is a drop-tail first-in-first-out queue, backed by a ring buffer
+// so sustained enqueue/dequeue cycles allocate nothing after the buffer
+// reaches the configured capacity.
 type FIFO struct {
-	Cap    int
-	frames []*Frame
-	drops  int
+	Cap   int
+	buf   []*Frame
+	head  int
+	count int
+	drops int
 }
 
 // NewFIFO returns a FIFO with the given capacity.
@@ -30,57 +34,107 @@ func NewFIFO(capacity int) *FIFO { return &FIFO{Cap: capacity} }
 
 // Enqueue implements QueueDiscipline.
 func (q *FIFO) Enqueue(f *Frame) bool {
-	if len(q.frames) >= q.Cap {
+	if q.count >= q.Cap {
 		q.drops++
 		return false
 	}
-	q.frames = append(q.frames, f)
+	if len(q.buf) != q.Cap {
+		q.grow()
+	}
+	i := q.head + q.count
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = f
+	q.count++
 	return true
+}
+
+// grow (re)sizes the ring to the configured capacity, preserving order.
+func (q *FIFO) grow() {
+	buf := make([]*Frame, q.Cap)
+	for i := 0; i < q.count; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
 }
 
 // Dequeue implements QueueDiscipline.
 func (q *FIFO) Dequeue() *Frame {
-	if len(q.frames) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	f := q.frames[0]
-	q.frames = q.frames[1:]
+	f := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.count--
 	return f
 }
 
 // Len implements QueueDiscipline.
-func (q *FIFO) Len() int { return len(q.frames) }
+func (q *FIFO) Len() int { return q.count }
 
 // Drops returns the number of frames rejected at capacity.
 func (q *FIFO) Drops() int { return q.drops }
 
+// Reset empties the queue and clears the drop counter, keeping the ring
+// buffer for reuse.
+func (q *FIFO) Reset() {
+	for i := 0; i < q.count; i++ {
+		j := q.head + i
+		if j >= len(q.buf) {
+			j -= len(q.buf)
+		}
+		q.buf[j] = nil
+	}
+	q.head = 0
+	q.count = 0
+	q.drops = 0
+}
+
+// numFrameKinds sizes the FairQueue flow tables: one slot per
+// medium.FrameKind value (data, ack, beacon, power).
+const numFrameKinds = medium.NumFrameKinds
+
 // FairQueue is a deficit-round-robin discipline with one subqueue per
 // frame kind (client data vs power packets), one frame per turn. It
 // models the flow isolation of fq_codel between the iperf flow and the
-// injector's broadcast flow.
+// injector's broadcast flow. Flow state lives in fixed per-kind arrays
+// — the transmit path and the Power_MACshim's queue-depth query are
+// map-free and allocation-free in steady state.
 type FairQueue struct {
 	// PerFlowCap bounds each subqueue.
 	PerFlowCap int
 
-	flows map[medium.FrameKind]*FIFO
+	flows [numFrameKinds]*FIFO // nil until the kind joins the round-robin
 	order []medium.FrameKind
 	next  int
+	count int // running total across flows; Len is the Power_MACshim hot query
 	drops int
+
+	// retired parks reset subqueues between runs so a pooled queue can
+	// rebuild its flow table without allocating.
+	retired [numFrameKinds]*FIFO
 }
 
 // NewFairQueue returns a fair queue with the given per-flow capacity.
 func NewFairQueue(perFlowCap int) *FairQueue {
-	return &FairQueue{
-		PerFlowCap: perFlowCap,
-		flows:      make(map[medium.FrameKind]*FIFO),
-	}
+	return &FairQueue{PerFlowCap: perFlowCap}
 }
 
 // Enqueue implements QueueDiscipline.
 func (q *FairQueue) Enqueue(f *Frame) bool {
-	fl, exists := q.flows[f.Kind]
-	if !exists {
-		fl = NewFIFO(q.PerFlowCap)
+	fl := q.flows[f.Kind]
+	if fl == nil {
+		if fl = q.retired[f.Kind]; fl != nil {
+			q.retired[f.Kind] = nil
+		} else {
+			fl = NewFIFO(q.PerFlowCap)
+		}
 		q.flows[f.Kind] = fl
 		q.order = append(q.order, f.Kind)
 	}
@@ -88,6 +142,7 @@ func (q *FairQueue) Enqueue(f *Frame) bool {
 		q.drops++
 		return false
 	}
+	q.count++
 	return true
 }
 
@@ -96,28 +151,30 @@ func (q *FairQueue) Dequeue() *Frame {
 	if len(q.order) == 0 {
 		return nil
 	}
-	for i := 0; i < len(q.order); i++ {
-		kind := q.order[(q.next+i)%len(q.order)]
-		if f := q.flows[kind].Dequeue(); f != nil {
-			q.next = (q.next + i + 1) % len(q.order)
+	n := len(q.order)
+	for i, idx := 0, q.next; i < n; i++ {
+		if idx >= n {
+			idx -= n
+		}
+		if f := q.flows[q.order[idx]].Dequeue(); f != nil {
+			q.next = idx + 1
+			if q.next >= n {
+				q.next -= n
+			}
+			q.count--
 			return f
 		}
+		idx++
 	}
 	return nil
 }
 
 // Len implements QueueDiscipline.
-func (q *FairQueue) Len() int {
-	n := 0
-	for _, fl := range q.flows {
-		n += fl.Len()
-	}
-	return n
-}
+func (q *FairQueue) Len() int { return q.count }
 
 // FlowLen returns the backlog of one flow.
 func (q *FairQueue) FlowLen(kind medium.FrameKind) int {
-	if fl, exists := q.flows[kind]; exists {
+	if fl := q.flows[kind]; fl != nil {
 		return fl.Len()
 	}
 	return 0
@@ -125,3 +182,22 @@ func (q *FairQueue) FlowLen(kind medium.FrameKind) int {
 
 // Drops returns the total frames rejected at per-flow capacity.
 func (q *FairQueue) Drops() int { return q.drops }
+
+// Reset returns the queue to its just-constructed state: the flow table
+// and round-robin order empty out (they are rebuilt by arrival order, so
+// a reset queue schedules identically to a fresh one), while the
+// emptied subqueues park in the retired pool for allocation-free reuse.
+func (q *FairQueue) Reset() {
+	for kind, fl := range q.flows {
+		if fl == nil {
+			continue
+		}
+		fl.Reset()
+		q.retired[kind] = fl
+		q.flows[kind] = nil
+	}
+	q.order = q.order[:0]
+	q.next = 0
+	q.count = 0
+	q.drops = 0
+}

@@ -59,6 +59,15 @@ func (a *ARF) OnSuccess() {
 	}
 }
 
+// Reset returns the controller to its freshly constructed state (top
+// rate, cleared streaks), so pooled stations adapt identically to fresh
+// ones.
+func (a *ARF) Reset() {
+	a.idx = len(phy.OFDMRates) - 1
+	a.successes = 0
+	a.failures = 0
+}
+
 // OnFailure implements RateController.
 func (a *ARF) OnFailure() {
 	a.successes = 0

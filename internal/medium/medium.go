@@ -83,6 +83,9 @@ func (k FrameKind) String() string {
 // Broadcast is the destination ID of broadcast transmissions.
 const Broadcast = -1
 
+// NumFrameKinds sizes per-kind statistic arrays: one slot per FrameKind.
+const NumFrameKinds = int(KindPower) + 1
+
 // Transmission is one frame on the air.
 type Transmission struct {
 	Src     Station
@@ -95,6 +98,15 @@ type Transmission struct {
 	End     time.Duration
 
 	overlapped []*Transmission // transmissions that overlapped this one
+
+	// senseMask records which stations (by channel index, one bit each)
+	// sense this transmission, computed once at StartTx and reused at
+	// endTx — the set cannot change mid-flight because geometry is
+	// fixed while a run is in progress.
+	senseMask uint64
+	// srcIdx is Src's index in the channel's station list, resolved once
+	// at StartTx.
+	srcIdx int
 }
 
 // Airtime returns the transmission's on-air duration.
@@ -121,40 +133,182 @@ type Channel struct {
 	PathLoss rf.PathLossModel
 
 	stations []Station
-	probes   []PowerProbe
-	active   []*Transmission
+	// activeN bounds the participating prefix of stations: carrier
+	// sense, delivery and capture only see stations[:activeN]. A pooled
+	// context attaches its maximum topology once and activates the
+	// per-run prefix, which reproduces exactly the station set a fresh
+	// build would have attached.
+	activeN int
+	probes  []PowerProbe
+	active  []*Transmission
 
-	// senseCount tracks, per station ID, how many active transmissions
-	// the station currently senses, to derive busy/idle edges.
-	senseCount map[int]int
+	// senseCounts tracks, per station (parallel to stations), how many
+	// active transmissions the station currently senses, to derive
+	// busy/idle edges.
+	senseCounts []int
+
+	// rxCache memoizes the pairwise station→station received power
+	// (a flat len(stations)² matrix, NaN = not yet computed). Station
+	// positions, powers and gains are fixed once a run starts, and the
+	// carrier-sense/capture checks re-derive the same pure path-loss
+	// math on every busy edge — the cache turns each repeat into a
+	// load. Reset and AddStation invalidate it.
+	rxCache []float64
 
 	// Observers receive every completed transmission regardless of
 	// addressing, like a monitor-mode interface running tcpdump (§4's
 	// occupancy methodology).
 	Observers []func(tx *Transmission)
 
-	// Stats.
-	TxCount    map[FrameKind]int
-	TxAirtime  map[FrameKind]time.Duration
+	// Stats, indexed by FrameKind. Fixed arrays rather than maps: the
+	// transmit path bumps them per frame, and map traffic was a
+	// measurable slice of the sampler's steady-state cost.
+	TxCount    [NumFrameKinds]int
+	TxAirtime  [NumFrameKinds]time.Duration
 	Collisions int
+
+	// endTxFn is the long-lived end-of-transmission callback; scheduling
+	// it with the transmission as the context word costs no per-event
+	// closure.
+	endTxFn func(ctx any)
+
+	// txPool recycles Transmission structs across Resets: txNext indexes
+	// the next reusable slot, and slots are only reused after a Reset,
+	// when no live references remain.
+	txPool []*Transmission
+	txNext int
+
+	// One-entry airtime memo for the per-frame phy.Airtime derivation
+	// (pure in bytes and rate; traffic is dominated by one or two frame
+	// shapes per run).
+	lastAirBytes int
+	lastAirRate  phy.Rate
+	lastAirtime  time.Duration
 }
 
 // NewChannel creates a channel medium on the scheduler with free-space
 // propagation by default.
 func NewChannel(num phy.Channel, sched *eventsim.Scheduler) *Channel {
-	return &Channel{
-		Num:        num,
-		Sched:      sched,
-		PathLoss:   rf.FreeSpace{},
-		senseCount: make(map[int]int),
-		TxCount:    make(map[FrameKind]int),
-		TxAirtime:  make(map[FrameKind]time.Duration),
+	c := &Channel{
+		Num:      num,
+		Sched:    sched,
+		PathLoss: rf.FreeSpace{},
+	}
+	c.endTxFn = func(ctx any) { c.endTx(ctx.(*Transmission)) }
+	return c
+}
+
+// newTransmission returns a zeroed transmission from the pool, keeping
+// any overlap-slice capacity a recycled slot already grew.
+func (c *Channel) newTransmission() *Transmission {
+	if c.txNext < len(c.txPool) {
+		tx := c.txPool[c.txNext]
+		c.txNext++
+		overlapped := tx.overlapped[:0]
+		*tx = Transmission{overlapped: overlapped}
+		return tx
+	}
+	tx := &Transmission{}
+	c.txPool = append(c.txPool, tx)
+	c.txNext++
+	return tx
+}
+
+// Reset clears the channel's dynamic state — in-flight transmissions,
+// carrier-sense counts, statistics and the transmission pool cursor —
+// while keeping its topology (attached stations, probes and observers)
+// and allocated memory. Callers must reset the scheduler alongside, so
+// no recycled transmission is still referenced by a queued event.
+//
+// The pairwise received-power memo survives Reset: it depends only on
+// station geometry, powers, gains and the path-loss model, all of which
+// attachment fixes. A caller that mutates any of those between runs
+// must call InvalidateRxCache.
+func (c *Channel) Reset() {
+	for i := range c.active {
+		c.active[i] = nil
+	}
+	c.active = c.active[:0]
+	for i := range c.senseCounts {
+		c.senseCounts[i] = 0
+	}
+	c.TxCount = [NumFrameKinds]int{}
+	c.TxAirtime = [NumFrameKinds]time.Duration{}
+	c.Collisions = 0
+	c.txNext = 0
+}
+
+// InvalidateRxCache marks every pairwise received-power entry stale.
+// AddStation calls it automatically; callers that change a station's
+// power, gain or position, or the channel's PathLoss, after attachment
+// must call it themselves.
+func (c *Channel) InvalidateRxCache() { c.invalidateRxCache() }
+
+// invalidateRxCache marks every pairwise received-power entry stale.
+func (c *Channel) invalidateRxCache() {
+	n := len(c.stations) * len(c.stations)
+	if cap(c.rxCache) < n {
+		c.rxCache = make([]float64, n)
+	}
+	c.rxCache = c.rxCache[:n]
+	for i := range c.rxCache {
+		c.rxCache[i] = math.NaN()
 	}
 }
 
-// AddStation attaches a station to the channel.
-func (c *Channel) AddStation(s Station) {
+// stationIndex returns s's position in the attachment list (active or
+// not), or -1 for a station that never attached. The list is small (a
+// handful of stations per channel), so a linear scan beats any map.
+func (c *Channel) stationIndex(s Station) int {
+	for i, st := range c.stations {
+		if st == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// rxStationPower returns the memoized received power at station dst
+// (index j) from station src (index i). A negative source index (an
+// unattached transmitter) computes directly, uncached.
+func (c *Channel) rxStationPower(i, j int, src, dst Station) float64 {
+	if i < 0 {
+		return c.rxPowerDBm(src, dst.Location(), dst.AntennaGainDBi(), 0)
+	}
+	k := i*len(c.stations) + j
+	if v := c.rxCache[k]; !math.IsNaN(v) {
+		return v
+	}
+	v := c.rxPowerDBm(src, dst.Location(), dst.AntennaGainDBi(), 0)
+	c.rxCache[k] = v
+	return v
+}
+
+// AddStation attaches a station to the channel and returns its
+// attachment index. New stations are active by default. Stations that
+// keep the index can use the index-direct fast paths (StartTxFrom,
+// SensesIdx) and skip the attachment-list scan.
+func (c *Channel) AddStation(s Station) int {
 	c.stations = append(c.stations, s)
+	c.senseCounts = append(c.senseCounts, 0)
+	c.activeN = len(c.stations)
+	c.invalidateRxCache()
+	return len(c.stations) - 1
+}
+
+// SetActiveStations makes only the first n attached stations participate
+// in the medium; later attachments lie dormant (a pooling layer's spare
+// contenders). n is clamped to the attached count. The pairwise power
+// memo is indexed by full attachment order, so activation changes do not
+// invalidate it.
+func (c *Channel) SetActiveStations(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(c.stations) {
+		n = len(c.stations)
+	}
+	c.activeN = n
 }
 
 // AddProbe attaches an energy-harvesting probe.
@@ -177,31 +331,49 @@ func (c *Channel) rxPowerDBm(src Station, loc Location, gainDBi, extraLossDB flo
 
 // Senses reports whether station s currently senses the channel busy.
 func (c *Channel) Senses(s Station) bool {
-	return c.senseCount[s.StationID()] > 0
+	if i := c.stationIndex(s); i >= 0 {
+		return c.senseCounts[i] > 0
+	}
+	return false
 }
 
-// senses reports whether station s can sense transmission tx.
-func (c *Channel) senses(s Station, tx *Transmission) bool {
-	if s.StationID() == tx.Src.StationID() {
+// SensesIdx reports whether the station at attachment index idx
+// currently senses the channel busy — the scan-free form of Senses.
+func (c *Channel) SensesIdx(idx int) bool { return c.senseCounts[idx] > 0 }
+
+// senses reports whether the station at index j can sense transmission
+// tx, whose source sits at index srcIdx.
+func (c *Channel) senses(j, srcIdx int, s Station, tx *Transmission) bool {
+	if j == srcIdx {
 		return false
 	}
-	return c.rxPowerDBm(tx.Src, s.Location(), s.AntennaGainDBi(), 0) >= phy.CSThresholdDBm
+	return c.rxStationPower(srcIdx, j, tx.Src, s) >= phy.CSThresholdDBm
 }
 
 // StartTx begins transmitting a frame. The transmission ends and resolves
 // automatically after its airtime.
 func (c *Channel) StartTx(src Station, dstID, bytes int, rate phy.Rate, kind FrameKind, payload any) *Transmission {
+	return c.StartTxFrom(c.stationIndex(src), src, dstID, bytes, rate, kind, payload)
+}
+
+// StartTxFrom is StartTx for callers that know their attachment index
+// (as returned by AddStation), skipping the station-list scan on the
+// per-frame hot path.
+func (c *Channel) StartTxFrom(srcIdx int, src Station, dstID, bytes int, rate phy.Rate, kind FrameKind, payload any) *Transmission {
 	now := c.Sched.Now()
-	tx := &Transmission{
-		Src:     src,
-		DstID:   dstID,
-		Bytes:   bytes,
-		Rate:    rate,
-		Kind:    kind,
-		Payload: payload,
-		Start:   now,
-		End:     now + phy.Airtime(bytes, rate),
+	tx := c.newTransmission()
+	tx.Src = src
+	tx.DstID = dstID
+	tx.Bytes = bytes
+	tx.Rate = rate
+	tx.Kind = kind
+	tx.Payload = payload
+	tx.Start = now
+	if bytes != c.lastAirBytes || rate != c.lastAirRate {
+		c.lastAirBytes, c.lastAirRate = bytes, rate
+		c.lastAirtime = phy.Airtime(bytes, rate)
 	}
+	tx.End = now + c.lastAirtime
 	// Record pairwise overlaps with already-active transmissions.
 	for _, other := range c.active {
 		other.overlapped = append(other.overlapped, tx)
@@ -212,17 +384,21 @@ func (c *Channel) StartTx(src Station, dstID, bytes int, rate phy.Rate, kind Fra
 	c.TxAirtime[kind] += tx.Airtime()
 
 	// Busy edges for stations that sense this transmission.
-	for _, s := range c.stations {
-		if c.senses(s, tx) {
-			c.senseCount[s.StationID()]++
-			if c.senseCount[s.StationID()] == 1 {
+	tx.srcIdx = srcIdx
+	for j, s := range c.stations[:c.activeN] {
+		if c.senses(j, srcIdx, s, tx) {
+			if j < 64 {
+				tx.senseMask |= 1 << uint(j)
+			}
+			c.senseCounts[j]++
+			if c.senseCounts[j] == 1 {
 				s.OnChannelBusy()
 			}
 		}
 	}
 	c.updateProbes()
 
-	c.Sched.At(tx.End, func() { c.endTx(tx) })
+	c.Sched.AtCtx(tx.End, c.endTxFn, tx)
 	return tx
 }
 
@@ -235,10 +411,15 @@ func (c *Channel) endTx(tx *Transmission) {
 			break
 		}
 	}
-	for _, s := range c.stations {
-		if c.senses(s, tx) {
-			c.senseCount[s.StationID()]--
-			if c.senseCount[s.StationID()] == 0 {
+	srcIdx := tx.srcIdx
+	for j, s := range c.stations[:c.activeN] {
+		sensed := tx.senseMask&(1<<uint(j)) != 0
+		if j >= 64 {
+			sensed = c.senses(j, srcIdx, s, tx)
+		}
+		if sensed {
+			c.senseCounts[j]--
+			if c.senseCounts[j] == 0 {
 				s.OnChannelIdle()
 			}
 		}
@@ -253,8 +434,8 @@ func (c *Channel) endTx(tx *Transmission) {
 	}
 
 	// Deliver to each station other than the source.
-	for _, s := range c.stations {
-		if s.StationID() == tx.Src.StationID() {
+	for j, s := range c.stations[:c.activeN] {
+		if j == srcIdx {
 			continue
 		}
 		if tx.DstID != Broadcast && tx.DstID != s.StationID() {
@@ -262,26 +443,27 @@ func (c *Channel) endTx(tx *Transmission) {
 			// (needed by monitor interfaces), flagged by delivery result.
 			continue
 		}
-		ok := c.decodes(s, tx)
+		ok := c.decodes(j, srcIdx, s, tx)
 		s.OnReceive(tx, ok)
 	}
 	tx.Src.OnTxComplete(tx)
 }
 
-// decodes reports whether station s successfully decodes tx: the frame
-// must arrive above the rate's sensitivity, and any overlapping
-// transmission must be CaptureMarginDB weaker.
-func (c *Channel) decodes(s Station, tx *Transmission) bool {
-	rx := c.rxPowerDBm(tx.Src, s.Location(), s.AntennaGainDBi(), 0)
+// decodes reports whether the station at index j successfully decodes
+// tx (source at index srcIdx): the frame must arrive above the rate's
+// sensitivity, and any overlapping transmission must be CaptureMarginDB
+// weaker.
+func (c *Channel) decodes(j, srcIdx int, s Station, tx *Transmission) bool {
+	rx := c.rxStationPower(srcIdx, j, tx.Src, s)
 	if rx < phy.MinSensitivityDBm(tx.Rate) {
 		return false
 	}
 	for _, other := range tx.overlapped {
-		if other.Src.StationID() == s.StationID() {
+		if other.srcIdx == j {
 			// The station was itself transmitting: half-duplex, no decode.
 			return false
 		}
-		interference := c.rxPowerDBm(other.Src, s.Location(), s.AntennaGainDBi(), 0)
+		interference := c.rxStationPower(other.srcIdx, j, other.Src, s)
 		if rx-interference < phy.CaptureMarginDB {
 			return false
 		}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/medium"
+	"repro/internal/phy"
 	"repro/internal/stats"
 )
 
@@ -22,12 +23,20 @@ type Monitor struct {
 	// BinWidth is the occupancy sampling resolution.
 	BinWidth time.Duration
 
-	ch       *medium.Channel
-	filter   map[int]bool // transmitter station IDs to count; nil = all
+	ch     *medium.Channel
+	filter []int // transmitter station IDs to count; empty = all. A
+	// monitor filters on one or two radios, so a linear scan beats a map
+	// on the per-frame capture path.
 	bins     []time.Duration
 	total    time.Duration
 	started  time.Duration
 	captured int
+
+	// One-entry airtime memo: captures are dominated by a run's one or
+	// two (size, rate) combinations, and the duration division is pure.
+	lastBytes int
+	lastRate  phy.Rate
+	lastOnAir time.Duration
 }
 
 // New attaches a monitor to a channel. srcIDs restricts the capture to
@@ -39,26 +48,35 @@ func New(ch *medium.Channel, binWidth time.Duration, srcIDs ...int) *Monitor {
 		ch:       ch,
 		started:  ch.Sched.Now(),
 	}
-	if len(srcIDs) > 0 {
-		m.filter = make(map[int]bool, len(srcIDs))
-		for _, id := range srcIDs {
-			m.filter[id] = true
-		}
-	}
+	m.filter = append(m.filter, srcIDs...)
 	ch.Observers = append(ch.Observers, m.capture)
 	return m
 }
 
+// passes reports whether the transmitter is in the capture filter.
+func (m *Monitor) passes(id int) bool {
+	for _, want := range m.filter {
+		if want == id {
+			return true
+		}
+	}
+	return false
+}
+
 // capture records one completed transmission.
 func (m *Monitor) capture(tx *medium.Transmission) {
-	if m.filter != nil && !m.filter[tx.Src.StationID()] {
+	if len(m.filter) > 0 && !m.passes(tx.Src.StationID()) {
 		return
 	}
 	m.captured++
 	// The paper computes size/rate from the radiotap headers, which
 	// excludes the PLCP preamble; do the same. bytes·8/Mbps gives
 	// microseconds on the air.
-	onAir := time.Duration(float64(tx.Bytes*8)/tx.Rate.Mbps()*1000) * time.Nanosecond
+	if tx.Bytes != m.lastBytes || tx.Rate != m.lastRate {
+		m.lastBytes, m.lastRate = tx.Bytes, tx.Rate
+		m.lastOnAir = time.Duration(float64(tx.Bytes*8)/tx.Rate.Mbps()*1000) * time.Nanosecond
+	}
+	onAir := m.lastOnAir
 	m.total += onAir
 	bin := int((tx.End - m.started) / m.BinWidth)
 	for bin >= len(m.bins) {
@@ -69,6 +87,17 @@ func (m *Monitor) capture(tx *medium.Transmission) {
 
 // Captured returns the number of frames recorded.
 func (m *Monitor) Captured() int { return m.captured }
+
+// Reset discards all captured state and restarts the capture at the
+// channel's current (typically just-reset) virtual time, keeping the
+// observer attachment, source filter and bin storage. A reset monitor
+// reports identically to one freshly attached at the same instant.
+func (m *Monitor) Reset() {
+	m.started = m.ch.Sched.Now()
+	m.bins = m.bins[:0]
+	m.total = 0
+	m.captured = 0
+}
 
 // MeanOccupancy returns total captured airtime divided by the elapsed
 // capture duration, as a fraction (0.55 = 55%).

@@ -40,7 +40,7 @@ type TCPSender struct {
 
 	srtt, rttvar, rto time.Duration
 	rtoBackoff        int
-	timer             *eventsim.Event
+	timer             eventsim.Handle
 	sendTimes         map[int]time.Duration
 
 	rtoCount        int
@@ -252,10 +252,8 @@ func (s *TCPSender) armTimer() {
 }
 
 func (s *TCPSender) cancelTimer() {
-	if s.timer != nil {
-		s.timer.Cancel()
-		s.timer = nil
-	}
+	s.timer.Cancel()
+	s.timer = eventsim.Handle{}
 }
 
 // onRTO handles a retransmission timeout: multiplicative decrease to a

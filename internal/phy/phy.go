@@ -160,6 +160,22 @@ const (
 // traffic on.
 var PoWiFiChannels = []Channel{Channel1, Channel6, Channel11}
 
+// PoWiFiChannelIndex returns ch's index within PoWiFiChannels (0 for
+// channel 1, 1 for channel 6, 2 for channel 11), or -1 for any other
+// channel. Hot paths use it to replace map[Channel] lookups with fixed
+// [3]-array indexing.
+func PoWiFiChannelIndex(c Channel) int {
+	switch c {
+	case Channel1:
+		return 0
+	case Channel6:
+		return 1
+	case Channel11:
+		return 2
+	}
+	return -1
+}
+
 // FreqHz returns the channel's centre frequency.
 func (c Channel) FreqHz() float64 {
 	return 2.407e9 + float64(c)*5e6

@@ -165,14 +165,18 @@ func (n HighPassLSection) ReturnLossDB(zLoad Impedance, freqHz float64) float64 
 
 // PowerTransferFraction implements MatchingNetwork. Power accepted past
 // the mismatch divides between the shunt inductor's ESR and the rectifier
-// in proportion to their conductances.
+// in proportion to their conductances. The shunt-inductor impedance is
+// computed once and shared with the input-impedance expression (it is
+// the same value InputImpedance derives; this sits on the operating-
+// point hot path).
 func (n HighPassLSection) PowerTransferFraction(zLoad Impedance, freqHz float64) float64 {
-	zin := n.InputImpedance(zLoad, freqHz)
+	zl := InductorImpedance(n.ShuntL, freqHz, n.InductorQ)
+	zc := CapacitorImpedance(n.SeriesC, freqHz, n.CapacitorQ)
+	zin := zc + Parallel(zl, zLoad)
 	accepted := MismatchLossFraction(zin, Z0)
 	if accepted < 0 {
 		accepted = 0
 	}
-	zl := InductorImpedance(n.ShuntL, freqHz, n.InductorQ)
 	gl := real(1 / zl)
 	gload := real(1 / zLoad)
 	if gl+gload <= 0 {

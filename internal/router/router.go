@@ -131,7 +131,15 @@ type Radio struct {
 	MAC      *mac.Station
 	Injector *Injector
 
-	beaconStop func()
+	sched          *eventsim.Scheduler
+	beaconOn       bool
+	beaconEv       eventsim.Handle
+	beaconInterval time.Duration
+	beaconFn       func(any) // long-lived tick; no closure per arming
+
+	// Cached label strings so a pooled router reseeds its per-channel
+	// streams without re-concatenating (or re-formatting) labels.
+	rngLabel, injLabel string
 }
 
 // Router is a PoWiFi router instance.
@@ -139,6 +147,11 @@ type Router struct {
 	Cfg    Config
 	Sched  *eventsim.Scheduler
 	Radios map[phy.Channel]*Radio
+
+	// radios lists the radios in cfg.Channels order; Start, Stop and
+	// Reset iterate it so pooled and fresh routers schedule their
+	// per-channel kick-off events in the same deterministic order.
+	radios []*Radio
 }
 
 // New builds a router attached to the given channel media. ids assigns a
@@ -151,25 +164,49 @@ func New(cfg Config, sched *eventsim.Scheduler, channels map[phy.Channel]*medium
 		if !exists {
 			continue
 		}
-		rng := xrand.NewFromLabel(seed, "router/"+chNum.String())
+		rngLabel := "router/" + chNum.String()
+		injLabel := "injector/" + chNum.String()
+		rng := xrand.NewFromLabel(seed, rngLabel)
 		station := mac.NewStation(baseID+i, "router-"+chNum.String(), cfg.Location, chMedium, rng)
 		station.PowerDBm = cfg.TxPowerDBm
 		station.GainDBi = cfg.AntennaGainDBi
 		// The client-facing interface runs fair queueing between client
 		// and power flows, as mac80211's fq_codel does on real routers.
 		station.Qdisc = mac.NewFairQueue(100)
-		radio := &Radio{Channel: chNum, MAC: station}
+		radio := &Radio{Channel: chNum, MAC: station, sched: sched, rngLabel: rngLabel, injLabel: injLabel}
 		radio.Injector = &Injector{
 			Sched:     sched,
 			MAC:       station,
 			Cfg:       cfg,
 			Rate:      r.powerRate(),
-			rng:       xrand.NewFromLabel(seed, "injector/"+chNum.String()),
+			rng:       xrand.NewFromLabel(seed, injLabel),
 			CheckQLen: cfg.Scheme == PoWiFi,
 		}
 		r.Radios[chNum] = radio
+		r.radios = append(r.radios, radio)
 	}
 	return r
+}
+
+// Reset returns the router to its just-built state under a new seed:
+// every radio's MAC and injector rewind to idle with zeroed counters and
+// their RNG streams reseed in place, exactly as New(cfg, ..., seed)
+// would produce. The scheduler and channels must be reset alongside by
+// the pooling layer.
+func (r *Router) Reset(seed uint64) {
+	for _, radio := range r.radios {
+		radio.MAC.Reset()
+		radio.MAC.RNG().ReseedFromLabel(seed, radio.rngLabel)
+		radio.beaconOn = false
+		radio.beaconEv = eventsim.Handle{}
+		in := radio.Injector
+		in.rng.ReseedFromLabel(seed, radio.injLabel)
+		in.running = false
+		in.stopEv = eventsim.Handle{}
+		in.Attempted = 0
+		in.DroppedByIPPower = 0
+		in.Injected = 0
+	}
 }
 
 // powerRate returns the bit rate for power packets under the configured
@@ -188,8 +225,8 @@ func (r *Router) powerRate() phy.Rate {
 // Start launches the beacons on every radio and, except under Baseline,
 // the power injectors.
 func (r *Router) Start() {
-	for _, radio := range r.Radios {
-		radio.startBeacons(r.Sched, r.Cfg.BeaconInterval)
+	for _, radio := range r.radios {
+		radio.startBeacons(r.Cfg.BeaconInterval)
 		if r.Cfg.Scheme != Baseline {
 			radio.Injector.Start()
 		}
@@ -197,29 +234,40 @@ func (r *Router) Start() {
 }
 
 // startBeacons arms the radio's periodic beacon transmission: a 100-byte
-// management frame at the 6 Mbps basic rate.
-func (radio *Radio) startBeacons(sched *eventsim.Scheduler, interval time.Duration) {
-	if interval <= 0 || radio.beaconStop != nil {
+// management frame at the 6 Mbps basic rate. The tick callback is bound
+// once and re-arms itself, so steady-state beaconing allocates nothing.
+func (radio *Radio) startBeacons(interval time.Duration) {
+	if interval <= 0 || radio.beaconOn {
 		return
 	}
-	radio.beaconStop = sched.Ticker(interval, func() {
-		radio.MAC.Enqueue(&mac.Frame{
-			DstID:     medium.Broadcast,
-			Bytes:     100,
-			Kind:      medium.KindBeacon,
-			FixedRate: phy.Rate6Mbps,
-		})
-	})
+	radio.beaconOn = true
+	radio.beaconInterval = interval
+	if radio.beaconFn == nil {
+		radio.beaconFn = func(any) {
+			if !radio.beaconOn {
+				return
+			}
+			f := radio.MAC.NewFrame()
+			f.DstID = medium.Broadcast
+			f.Bytes = 100
+			f.Kind = medium.KindBeacon
+			f.FixedRate = phy.Rate6Mbps
+			radio.MAC.Enqueue(f)
+			if radio.beaconOn {
+				radio.beaconEv = radio.sched.AfterCtx(radio.beaconInterval, radio.beaconFn, nil)
+			}
+		}
+	}
+	radio.beaconEv = radio.sched.AfterCtx(interval, radio.beaconFn, nil)
 }
 
 // Stop halts the injectors and beacons.
 func (r *Router) Stop() {
-	for _, radio := range r.Radios {
+	for _, radio := range r.radios {
 		radio.Injector.Stop()
-		if radio.beaconStop != nil {
-			radio.beaconStop()
-			radio.beaconStop = nil
-		}
+		radio.beaconOn = false
+		radio.beaconEv.Cancel()
+		radio.beaconEv = eventsim.Handle{}
 	}
 }
 
@@ -241,7 +289,8 @@ type Injector struct {
 
 	rng     *xrand.Rand
 	running bool
-	stop    func()
+	stopEv  eventsim.Handle
+	loopFn  func(any) // long-lived injection loop; no closure per bin
 
 	// Attempted counts user-space send calls; DroppedByIPPower counts
 	// packets dropped by the queue-threshold check (the error code
@@ -258,39 +307,34 @@ func (in *Injector) Start() {
 		return
 	}
 	in.running = true
-	var loop func()
-	loop = func() {
-		if !in.running {
-			return
+	if in.loopFn == nil {
+		in.loopFn = func(any) {
+			if !in.running {
+				return
+			}
+			in.inject()
+			delay := in.Cfg.InterPacketDelay
+			if in.Cfg.SleepJitter > 0 {
+				j := in.rng.Normal(0, in.Cfg.SleepJitter*float64(delay))
+				delay += time.Duration(j)
+			}
+			if in.Cfg.UserWakeCost > 0 {
+				delay += time.Duration(in.rng.Exp(float64(in.Cfg.UserWakeCost)))
+			}
+			if delay < 10*time.Microsecond {
+				delay = 10 * time.Microsecond
+			}
+			in.stopEv = in.Sched.AfterCtx(delay, in.loopFn, nil)
 		}
-		in.inject()
-		delay := in.Cfg.InterPacketDelay
-		if in.Cfg.SleepJitter > 0 {
-			j := in.rng.Normal(0, in.Cfg.SleepJitter*float64(delay))
-			delay += time.Duration(j)
-		}
-		if in.Cfg.UserWakeCost > 0 {
-			delay += time.Duration(in.rng.Exp(float64(in.Cfg.UserWakeCost)))
-		}
-		if delay < 10*time.Microsecond {
-			delay = 10 * time.Microsecond
-		}
-		in.stopEvent(in.Sched.After(delay, loop))
 	}
-	loop()
-}
-
-// stopEvent retains the pending event so Stop can cancel it.
-func (in *Injector) stopEvent(e *eventsim.Event) {
-	in.stop = e.Cancel
+	in.loopFn(nil)
 }
 
 // Stop halts the injection loop.
 func (in *Injector) Stop() {
 	in.running = false
-	if in.stop != nil {
-		in.stop()
-	}
+	in.stopEv.Cancel()
+	in.stopEv = eventsim.Handle{}
 }
 
 // inject performs one user-space send: the IP_Power check followed by the
@@ -303,12 +347,11 @@ func (in *Injector) inject() {
 		in.DroppedByIPPower++
 		return
 	}
-	f := &mac.Frame{
-		DstID:     medium.Broadcast,
-		Bytes:     in.Cfg.PowerPacketBytes,
-		Kind:      medium.KindPower,
-		FixedRate: in.Rate,
-	}
+	f := in.MAC.NewFrame()
+	f.DstID = medium.Broadcast
+	f.Bytes = in.Cfg.PowerPacketBytes
+	f.Kind = medium.KindPower
+	f.FixedRate = in.Rate
 	if in.MAC.Enqueue(f) {
 		in.Injected++
 	}

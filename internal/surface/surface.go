@@ -51,6 +51,8 @@ import (
 	"math"
 
 	"repro/internal/harvester"
+	"repro/internal/phy"
+	"repro/internal/rf"
 )
 
 // Options parameterizes a surface build.
@@ -127,6 +129,92 @@ type Surface struct {
 
 	op   *grid // operating (converter) load: v, i, ln rp over ln a
 	boot *grid // startup idle-leak load (battery-free only): v, ln rp
+
+	// xfer caches the matching network's per-frequency constants for
+	// the three PoWiFi channel frequencies, precomputed at build with
+	// the exact expressions PowerTransferFraction evaluates, so the
+	// per-bin fixed point recomputes only the load-dependent terms.
+	// Queries at other frequencies fall through to the network itself.
+	// Immutable after New, hence safe for concurrent readers.
+	xfer [3]freqXfer
+	hp   rf.HighPassLSection // the network behind xfer, when hpOK
+	hpOK bool
+}
+
+// freqXfer holds one frequency's load-independent constants: the
+// matching network's shunt inductor and series capacitor impedances,
+// the inductor's shunt conductance, and the rectifier's input reactance
+// magnitude — everything in the per-iteration transfer evaluation that
+// does not depend on the rectifier load. Each value is produced by the
+// exact expression its consumer would otherwise recompute, so serving
+// it from the cache is bit-identical.
+type freqXfer struct {
+	valid  bool
+	freq   float64
+	zl, zc rf.Impedance
+	gl     float64
+	xp     float64 // 1/(ω·Cin): rectifier input reactance at freq
+}
+
+// xferFor returns the constants for freqHz: from the channel cache when
+// it hits, built on the spot for other frequencies (the boot path's
+// power-weighted mean frequency). ok is false when the network is not
+// the high-pass L-section, in which case callers use the generic path.
+func (s *Surface) xferFor(freqHz float64) (freqXfer, bool) {
+	for i := range s.xfer {
+		if s.xfer[i].valid && s.xfer[i].freq == freqHz {
+			return s.xfer[i], true
+		}
+	}
+	if !s.hpOK {
+		return freqXfer{}, false
+	}
+	return s.buildXfer(freqHz), true
+}
+
+// buildXfer computes the constants with the same expressions
+// HighPassLSection.PowerTransferFraction and
+// Harvester.RectifierSeriesImpedance evaluate.
+func (s *Surface) buildXfer(freqHz float64) freqXfer {
+	zl := rf.InductorImpedance(s.hp.ShuntL, freqHz, s.hp.InductorQ)
+	cp := s.h.Rect.InputCapacitance()
+	return freqXfer{
+		valid: true,
+		freq:  freqHz,
+		zl:    zl,
+		zc:    rf.CapacitorImpedance(s.hp.SeriesC, freqHz, s.hp.CapacitorQ),
+		gl:    real(1 / zl),
+		xp:    1 / (2 * math.Pi * freqHz * cp),
+	}
+}
+
+// rsiFromXp mirrors Harvester.RectifierSeriesImpedance with the
+// frequency term precomputed: the parallel Rp ∥ Cp to series conversion
+// on the same expressions.
+func rsiFromXp(rp, xp float64) rf.Impedance {
+	if math.IsInf(rp, 1) {
+		// Unpowered rectifier: purely capacitive.
+		return complex(0, -xp)
+	}
+	q := rp / xp
+	rs := rp / (1 + q*q)
+	xs := xp * q * q / (1 + q*q)
+	return complex(rs, -xs)
+}
+
+// transferWith mirrors HighPassLSection.PowerTransferFraction with the
+// load-independent terms served from x.
+func transferWith(x *freqXfer, z rf.Impedance) float64 {
+	zin := x.zc + rf.Parallel(x.zl, z)
+	accepted := rf.MismatchLossFraction(zin, rf.Z0)
+	if accepted < 0 {
+		accepted = 0
+	}
+	gload := real(1 / z)
+	if x.gl+gload <= 0 {
+		return 0
+	}
+	return accepted * gload / (x.gl + gload)
 }
 
 // Stats reports how a surface was built, for tests and diagnostics.
@@ -146,6 +234,14 @@ type Stats struct {
 func New(h *harvester.Harvester, opts Options) *Surface {
 	opts = opts.withDefaults()
 	s := &Surface{h: h, opts: opts}
+
+	if hp, isHighPass := h.Match.(rf.HighPassLSection); isHighPass {
+		s.hp = hp
+		s.hpOK = true
+		for i, chNum := range phy.PoWiFiChannels {
+			s.xfer[i] = s.buildXfer(chNum.FreqHz())
+		}
+	}
 
 	// Below vRelevant the converter cannot act on the rectifier voltage —
 	// the battery-free pump needs 300 mV to start, the bq25570 needs
@@ -250,13 +346,46 @@ func interpAt(g *grid, a float64) (v, i, rp float64, ok bool) {
 		return 0, 0, 0, false
 	}
 	x := math.Log(a)
-	v, ok = g.at(curveV, x)
+	lo, ok := g.bracket(x)
 	if !ok {
 		return 0, 0, 0, false
 	}
-	i, _ = g.at(curveI, x)
-	lnRp, _ := g.at(curveLnRp, x)
-	return v, i, math.Exp(lnRp), true
+	v = g.atIdx(curveV, lo, x)
+	i = g.atIdx(curveI, lo, x)
+	return v, i, math.Exp(g.atIdx(curveLnRp, lo, x)), true
+}
+
+// interpVIAt returns the voltage and current curves at accepted power a
+// (the fixed points' closing query, which never consumes Rp), warm-
+// started from the iteration's bracket hint.
+func interpVIAt(g *grid, a float64, hint int) (v, i float64, ok bool) {
+	if a <= 0 {
+		return 0, 0, false
+	}
+	x := math.Log(a)
+	lo, ok := g.bracketHint(x, hint)
+	if !ok {
+		return 0, 0, false
+	}
+	return g.atIdx(curveV, lo, x), g.atIdx(curveI, lo, x), true
+}
+
+// interpRpAt returns only the parallel-resistance curve at accepted
+// power a — the single value the fixed-point iterations consume, so the
+// loop pays one search and one Hermite evaluation per step. hint warm-
+// starts the interval search across iterations (pass a variable holding
+// -1 initially).
+func interpRpAt(g *grid, a float64, hint *int) (rp float64, ok bool) {
+	if a <= 0 {
+		return 0, false
+	}
+	x := math.Log(a)
+	lo, ok := g.bracketHint(x, *hint)
+	if !ok {
+		return 0, false
+	}
+	*hint = lo
+	return math.Exp(g.atIdx(curveLnRp, lo, x)), true
 }
 
 // nearSeikoThreshold reports whether an interpolated rectifier voltage
@@ -281,18 +410,36 @@ func (s *Surface) multiChannelOperatingPoint(chans []harvester.ChannelPower) (ha
 	for _, c := range chans {
 		total += 0.8 * c.PowerW
 	}
+	// Hoist each channel's load-independent constants out of the fixed
+	// point: frequencies do not change across iterations.
+	var xfs [3]freqXfer
+	fast := len(chans) <= len(xfs)
+	if fast {
+		for j, c := range chans {
+			var ok bool
+			if xfs[j], ok = s.xferFor(c.FreqHz); !ok {
+				fast = false
+				break
+			}
+		}
+	}
+	hint := -1
 	for iter := 0; iter < 8; iter++ {
-		_, _, rp, ok := interpAt(s.op, total)
+		rp, ok := interpRpAt(s.op, total, &hint)
 		if !ok {
 			return harvester.Operating{}, false
 		}
 		next := 0.0
-		for _, c := range chans {
+		for j, c := range chans {
 			if c.PowerW <= 0 {
 				continue
 			}
-			z := s.h.RectifierSeriesImpedance(rp, c.FreqHz)
-			next += c.PowerW * s.h.Match.PowerTransferFraction(z, c.FreqHz)
+			if fast {
+				next += c.PowerW * transferWith(&xfs[j], rsiFromXp(rp, xfs[j].xp))
+			} else {
+				z := s.h.RectifierSeriesImpedance(rp, c.FreqHz)
+				next += c.PowerW * s.h.Match.PowerTransferFraction(z, c.FreqHz)
+			}
 		}
 		if math.Abs(next-total) < 1e-12 {
 			total = next
@@ -300,7 +447,7 @@ func (s *Surface) multiChannelOperatingPoint(chans []harvester.ChannelPower) (ha
 		}
 		total = 0.5*total + 0.5*next
 	}
-	v, i, _, ok := interpAt(s.op, total)
+	v, i, ok := interpVIAt(s.op, total, hint)
 	if !ok {
 		return harvester.Operating{}, false
 	}
@@ -362,20 +509,29 @@ func (s *Surface) startupVoltage(incidentW, freqHz float64) (float64, bool) {
 		return 0, true
 	}
 	acc := 0.8 * incidentW
+	// The frequency is fixed for the whole fixed point; hoist its
+	// constants once.
+	xf, fast := s.xferFor(freqHz)
+	hint := -1
 	for i := 0; i < 8; i++ {
-		_, _, rp, ok := interpAt(s.boot, acc)
+		rp, ok := interpRpAt(s.boot, acc, &hint)
 		if !ok {
 			return 0, false
 		}
-		z := s.h.RectifierSeriesImpedance(rp, freqHz)
-		next := incidentW * s.h.Match.PowerTransferFraction(z, freqHz)
+		var next float64
+		if fast {
+			next = incidentW * transferWith(&xf, rsiFromXp(rp, xf.xp))
+		} else {
+			z := s.h.RectifierSeriesImpedance(rp, freqHz)
+			next = incidentW * s.h.Match.PowerTransferFraction(z, freqHz)
+		}
 		if math.Abs(next-acc) < 1e-12 {
 			acc = next
 			break
 		}
 		acc = 0.5*acc + 0.5*next
 	}
-	v, _, _, ok := interpAt(s.boot, acc)
+	v, _, ok := interpVIAt(s.boot, acc, hint)
 	return v, ok
 }
 

@@ -348,11 +348,20 @@ func hermite(x0, x1, y0, y1, m0, m1, x float64) float64 {
 // at evaluates curve c at x. ok is false outside the grid domain — the
 // caller must fall back to the exact solver there, never extrapolate.
 func (g *grid) at(c int, x float64) (float64, bool) {
+	lo, ok := g.bracket(x)
+	if !ok {
+		return 0, false
+	}
+	return g.atIdx(c, lo, x), true
+}
+
+// bracket binary-searches for the interval [xs[lo], xs[lo+1]] containing
+// x, so multi-curve queries at one abscissa pay for a single search.
+func (g *grid) bracket(x float64) (int, bool) {
 	xs := g.xs
 	if x < xs[0] || x > xs[len(xs)-1] || math.IsNaN(x) {
 		return 0, false
 	}
-	// Binary search for the bracketing interval.
 	lo, hi := 0, len(xs)-1
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
@@ -362,5 +371,24 @@ func (g *grid) at(c int, x float64) (float64, bool) {
 			hi = mid
 		}
 	}
-	return hermite(xs[lo], xs[lo+1], g.ys[c][lo], g.ys[c][lo+1], g.slopes[c][lo], g.slopes[c][lo+1], x), true
+	return lo, true
+}
+
+// bracketHint is bracket with a warm start: when x still falls in the
+// hinted interval it returns immediately with the exact interval the
+// binary search would pick (xs[hint] <= x strictly below xs[hint+1] —
+// the half-open test keeps node-exact queries on the same side the
+// search puts them). Fixed-point iterations whose abscissa drifts
+// slowly hit the fast path almost every step.
+func (g *grid) bracketHint(x float64, hint int) (int, bool) {
+	xs := g.xs
+	if hint >= 0 && hint+1 < len(xs) && xs[hint] <= x && x < xs[hint+1] {
+		return hint, true
+	}
+	return g.bracket(x)
+}
+
+// atIdx evaluates curve c at x inside the pre-located interval lo.
+func (g *grid) atIdx(c, lo int, x float64) float64 {
+	return hermite(g.xs[lo], g.xs[lo+1], g.ys[c][lo], g.ys[c][lo+1], g.slopes[c][lo], g.slopes[c][lo+1], x)
 }

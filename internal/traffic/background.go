@@ -28,8 +28,9 @@ type Background struct {
 	Load float64
 
 	rng    *xrand.Rand
-	cancel func()
-	feed   *eventsim.Event
+	feed   eventsim.Handle
+	mean   float64
+	fireFn func(any) // long-lived arrival callback; no closure per packet
 }
 
 // frameProfile is one entry of the background traffic mix.
@@ -83,34 +84,34 @@ func meanAirtime() time.Duration {
 
 // Start begins offering load. The generator clocks frame arrivals as a
 // Poisson process whose mean inter-arrival yields the target airtime
-// fraction.
+// fraction. The arrival callback and the frames it enqueues are pooled,
+// so a running generator allocates nothing per packet.
 func (b *Background) Start() {
 	if b.Load <= 0 {
 		return
 	}
-	mean := float64(meanAirtime()) / b.Load
-	var schedule func()
-	schedule = func() {
-		delay := time.Duration(b.rng.Exp(mean))
-		b.feed = b.Sched.After(delay, func() {
+	b.mean = float64(meanAirtime()) / b.Load
+	if b.fireFn == nil {
+		b.fireFn = func(any) {
 			p := b.draw()
 			// Broadcast keeps the generator self-contained (no ACK peer
 			// needed); occupancy contribution is identical.
-			b.Station.Enqueue(&mac.Frame{
-				DstID:     medium.Broadcast,
-				Bytes:     p.bytes,
-				Kind:      medium.KindData,
-				FixedRate: p.rate,
-			})
-			schedule()
-		})
-	}
-	schedule()
-	b.cancel = func() {
-		if b.feed != nil {
-			b.feed.Cancel()
+			f := b.Station.NewFrame()
+			f.DstID = medium.Broadcast
+			f.Bytes = p.bytes
+			f.Kind = medium.KindData
+			f.FixedRate = p.rate
+			b.Station.Enqueue(f)
+			b.arm()
 		}
 	}
+	b.arm()
+}
+
+// arm schedules the next Poisson arrival.
+func (b *Background) arm() {
+	delay := time.Duration(b.rng.Exp(b.mean))
+	b.feed = b.Sched.AfterCtx(delay, b.fireFn, nil)
 }
 
 // SetLoad adjusts the offered load for subsequent arrivals (used by the
@@ -123,8 +124,10 @@ func (b *Background) SetLoad(load float64) {
 
 // Stop halts the generator.
 func (b *Background) Stop() {
-	if b.cancel != nil {
-		b.cancel()
-		b.cancel = nil
-	}
+	b.feed.Cancel()
+	b.feed = eventsim.Handle{}
 }
+
+// RNG returns the generator's random stream, so a pooling layer can
+// reseed it in place between runs.
+func (b *Background) RNG() *xrand.Rand { return b.rng }

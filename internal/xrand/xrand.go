@@ -30,6 +30,14 @@ func splitmix64(state *uint64) uint64 {
 // New returns a generator seeded from the given 64-bit seed.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initializes the generator in place, exactly as New would.
+// Pooled simulation components reseed their long-lived streams between
+// runs instead of allocating fresh generators.
+func (r *Rand) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
@@ -38,7 +46,62 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return r
+}
+
+// LabelSeed hashes a (seed, label) pair to the stream seed NewFromLabel
+// uses — exposed so callers that re-derive the same labelled stream many
+// times (the deploy sampler's per-bin streams) can cache label strings
+// and reseed in place.
+func LabelSeed(seed uint64, label string) uint64 {
+	return labelHash(seed, label)
+}
+
+// labelHash is the FNV-1a fold shared by every label derivation.
+func labelHash(seed uint64, label string) uint64 {
+	h := seed ^ 0xcbf29ce484222325
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// LabelSeedInt returns LabelSeed(seed, label + decimal(n)) without
+// materializing the concatenated string — the fast path for indexed
+// stream families like "fleet/home/42".
+func LabelSeedInt(seed uint64, label string, n int) uint64 {
+	// Fold the prefix with the shared hash, then continue the same FNV
+	// fold over the decimal digits of n.
+	h := labelHash(seed, label)
+	var buf [20]byte
+	i := len(buf)
+	if n < 0 {
+		// Matches the fmt/strconv rendering of negative indices.
+		for v := uint64(-int64(n)); ; {
+			i--
+			buf[i] = byte('0' + v%10)
+			v /= 10
+			if v == 0 {
+				break
+			}
+		}
+		i--
+		buf[i] = '-'
+	} else {
+		for v := uint64(n); ; {
+			i--
+			buf[i] = byte('0' + v%10)
+			v /= 10
+			if v == 0 {
+				break
+			}
+		}
+	}
+	for ; i < len(buf); i++ {
+		h ^= uint64(buf[i])
+		h *= 0x100000001b3
+	}
+	return h
 }
 
 // NewFromLabel derives an independent stream from a base seed and a string
@@ -46,12 +109,13 @@ func New(seed uint64) *Rand {
 // uncorrelated streams, letting simulation components draw randomness
 // without perturbing each other's sequences.
 func NewFromLabel(seed uint64, label string) *Rand {
-	h := seed ^ 0xcbf29ce484222325
-	for i := 0; i < len(label); i++ {
-		h ^= uint64(label[i])
-		h *= 0x100000001b3
-	}
-	return New(h)
+	return New(LabelSeed(seed, label))
+}
+
+// ReseedFromLabel re-initializes the generator in place on the labelled
+// stream NewFromLabel(seed, label) would produce.
+func (r *Rand) ReseedFromLabel(seed uint64, label string) {
+	r.Reseed(LabelSeed(seed, label))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
