@@ -9,11 +9,22 @@
 // the surface and pays the full Bessel/Newton solve per bin, which is
 // only useful for validating the surface's ε guarantee.
 //
+// A population device mix (-devices) switches on the stateful
+// device-lifecycle engine (internal/lifecycle): each home is assigned
+// one device archetype — temp, rtemp, camera, jawbone, liion or nimh —
+// drawn from the given shares, storage state of charge is threaded
+// across the home's bins, and the report gains per-archetype
+// time-domain sections (time to first update, outage fraction, frames
+// captured, state-of-charge trajectory, time to full charge).
+// -horizon sets the per-home deployment duration for such runs (it
+// overrides -duration; the two are aliases otherwise).
+//
 // Examples:
 //
 //	powifi-fleet -homes 1000 -seed 42
 //	powifi-fleet -homes 5000 -workers 8 -duration 24h -format json
 //	powifi-fleet -homes 20 -exact -format json   # surface bypass
+//	powifi-fleet -devices temp=0.5,camera=0.3,jawbone=0.2 -horizon 72h
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 
 	powifi "repro"
 	"repro/internal/fleet"
+	"repro/internal/lifecycle"
 	"repro/internal/profiling"
 )
 
@@ -46,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		bin      = fs.Duration("bin", time.Hour, "occupancy logging bin width")
 		window   = fs.Duration("window", 10*time.Millisecond, "packet-level sample window per bin")
 		format   = fs.String("format", "text", "output format: text, json or csv")
+		devices  = fs.String("devices", "", "device-archetype shares enabling the lifecycle engine, e.g. temp=0.5,camera=0.3,jawbone=0.2")
+		horizon  = fs.Duration("horizon", 0, "deployment horizon per home (overrides -duration when set)")
 		exact    = fs.Bool("exact", false, "bypass the operating-point surface; solve every bin exactly")
 		quiet    = fs.Bool("q", false, "suppress the timing line on stderr")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -64,6 +78,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "unknown format %q (want text, json or csv)\n", *format)
 		return 2
+	}
+
+	var mix lifecycle.Mix
+	if *devices != "" {
+		var err error
+		if mix, err = lifecycle.ParseMix(*devices); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	if *horizon != 0 {
+		*duration = *horizon
 	}
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
@@ -85,6 +111,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		BinWidth: *bin,
 		Window:   *window,
 		Exact:    *exact,
+		// Only the device mix is set here; withDefaults fills the rest
+		// of the population when nothing else was customized.
+		Population: fleet.Population{Devices: mix},
 	}
 	start := time.Now()
 	res, err := powifi.RunFleet(cfg)

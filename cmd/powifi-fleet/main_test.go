@@ -31,6 +31,9 @@ func TestFlagValidation(t *testing.T) {
 		{"stray positional", tinyArgs("json"), 2, "unexpected arguments"},
 		{"bad homes", []string{"-homes", "0", "-q"}, 1, "Homes"},
 		{"bad duration", []string{"-homes", "1", "-duration", "10m", "-bin", "1h", "-q"}, 1, "shorter than one"},
+		{"bad device mix", tinyArgs("-devices", "toaster=1"), 2, "unknown device archetype"},
+		{"malformed device mix", tinyArgs("-devices", "temp"), 2, "not name=weight"},
+		{"zero device mix", tinyArgs("-devices", "temp=0"), 2, "no positive share"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -124,6 +127,86 @@ func TestCSVSchemaRoundTrip(t *testing.T) {
 		if sections[want] == 0 {
 			t.Errorf("CSV missing section %q (got %v)", want, sections)
 		}
+	}
+}
+
+// TestLifecycleFlags pins the -devices/-horizon surface: the mix
+// switches on the lifecycle engine (text section + JSON subtree with a
+// stable schema), -horizon overrides -duration, and the JSON round
+// trip stays lossless with the new section present.
+func TestLifecycleFlags(t *testing.T) {
+	args := tinyArgs("-devices", "temp=0.5,camera=0.3,jawbone=0.2", "-horizon", "3h", "-format", "json")
+	var out, errBuf bytes.Buffer
+	if code := run(args, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var s fleet.Summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Hours != 3 {
+		t.Errorf("-horizon 3h resolved to %v hours (should override -duration 2h)", s.Hours)
+	}
+	if s.Lifecycle == nil || len(s.Lifecycle.Archetypes) == 0 {
+		t.Fatal("JSON output missing the lifecycle section")
+	}
+	if s.Population.Devices.Total() != 1 {
+		t.Errorf("population device mix not echoed: %v", s.Population.Devices)
+	}
+	for _, a := range s.Lifecycle.Archetypes {
+		if a.Homes == 0 {
+			t.Errorf("archetype %s reported with zero homes", a.Kind)
+		}
+	}
+	re, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s2 fleet.Summary
+	if err := json.Unmarshal(re, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Error("lifecycle JSON round trip not stable")
+	}
+
+	// Schema keys the dashboards depend on.
+	var raw map[string]any
+	if err := json.Unmarshal(out.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	lc, ok := raw["lifecycle"].(map[string]any)
+	if !ok {
+		t.Fatal("JSON output missing key \"lifecycle\"")
+	}
+	archs, ok := lc["archetypes"].([]any)
+	if !ok || len(archs) == 0 {
+		t.Fatal("lifecycle.archetypes missing or empty")
+	}
+	arch := archs[0].(map[string]any)
+	for _, key := range []string{"kind", "homes", "total_bins", "outage_bins",
+		"time_to_first_update_s", "homes_never_active", "home_outage_pct",
+		"updates_per_home_mean", "frames_per_home_mean", "update_interval_s",
+		"soc_pct", "final_soc_pct_mean", "min_soc_pct_mean", "charge_time_s", "homes_charged"} {
+		if _, ok := arch[key]; !ok {
+			t.Errorf("lifecycle archetype JSON missing key %q", key)
+		}
+	}
+
+	// Text mode grows the lifecycle section; CSV gains lifecycle rows.
+	out.Reset()
+	if code := run(tinyArgs("-devices", "temp=1"), &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "device lifecycle (temp=1):") {
+		t.Errorf("text output missing lifecycle section:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run(tinyArgs("-devices", "temp=1", "-format", "csv"), &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "lifecycle/temp/time_to_first_update_s") {
+		t.Error("CSV output missing lifecycle rows")
 	}
 }
 

@@ -23,6 +23,15 @@
 // (internal/stats) sharded across workers. Results are bit-for-bit
 // identical at any worker count; see RunFleet and cmd/powifi-fleet.
 //
+// internal/lifecycle adds the time domain: stateful device lifecycles
+// (battery-free and battery-recharging sensors, duty-cycled cameras,
+// pure battery chargers) threaded across the runner's bins through the
+// lifecycle-visiting run mode (deploy.RunVisitor). Fleet populations
+// can mix device archetypes (powifi-fleet -devices
+// temp=0.5,camera=0.3,jawbone=0.2 -horizon 72h), yielding
+// per-archetype time-to-first-update, outage, frame-count,
+// state-of-charge and charge-time distributions at fleet scale.
+//
 // Entry points:
 //
 //	cmd/powifi-bench    regenerate any table or figure

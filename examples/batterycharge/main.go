@@ -3,7 +3,12 @@
 // Three scenarios: the NiMH pack behind the battery-recharging
 // temperature sensor, the Li-Ion coin cell behind the recharging camera,
 // and the Jawbone UP24 activity tracker sitting next to the router on the
-// USB charger.
+// USB charger. Each battery is charged two ways that cannot diverge by
+// construction: the constant-power shortcut (core.BatteryChargeTime, a
+// thin wrapper over the shared ledger primitive) and the stateful
+// device-lifecycle engine (internal/lifecycle), which integrates the
+// same ledger bin by bin with self-discharge and charge-acceptance
+// applied.
 package main
 
 import (
@@ -11,9 +16,26 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/deploy"
 	"repro/internal/experiments"
 	"repro/internal/harvester"
+	"repro/internal/lifecycle"
 )
+
+// chargeFlat drives a lifecycle charger device over a flat-occupancy
+// schedule until its battery fills (or the horizon runs out) and
+// returns its final metrics. cumulative is spread evenly over the
+// three PoWiFi channels, exactly as core.PoWiFiLink does.
+func chargeFlat(dev *lifecycle.Device, distanceFt, cumulative float64, bin time.Duration, horizon time.Duration) lifecycle.Metrics {
+	dev.Begin(distanceFt, bin)
+	per := cumulative / 3
+	s := deploy.BinSample{Occupancy: [3]float64{per, per, per}}
+	for i := 0; i < int(horizon/bin); i++ {
+		s.Bin = i
+		dev.VisitBin(s)
+	}
+	return dev.Metrics()
+}
 
 func main() {
 	const occupancy = 0.913
@@ -34,7 +56,13 @@ func main() {
 	camNet := cam.NetHarvestedW(camLink)
 	fmt.Printf("Li-Ion MS412FE coin cell at 15 ft: net %.1f µW\n", camNet*1e6)
 	full := core.BatteryChargeTime(cam.Battery, 0, 1, camNet)
-	fmt.Printf("  charging the 1 mAh cell from empty takes %.1f hours\n", full.Hours())
+	fmt.Printf("  charging the 1 mAh cell from empty takes %.1f hours (constant-power shortcut)\n", full.Hours())
+	// The same cell through the stateful engine: the bq25570 charger
+	// chain at 15 ft, integrated per 15-minute bin with self-discharge.
+	li := lifecycle.NewDevice(lifecycle.LiIon, lifecycle.Policy{})
+	m := chargeFlat(li, 15, 0.909, 15*time.Minute, 96*time.Hour)
+	fmt.Printf("  lifecycle ledger: %.0f%% charged after %.0f h of flat occupancy (state %v)\n",
+		m.FinalSoC*100, m.TotalS/3600, li.State())
 	fmt.Printf("  -> one photo every %.1f min, energy-neutral\n\n",
 		cam.InterFrameTime(camLink).Minutes())
 
@@ -44,6 +72,12 @@ func main() {
 	fmt.Printf("  average charge current %.2f mA (paper: 2.3 mA)\n", res.ChargeCurrentMA)
 	fmt.Printf("  %.0f%% -> %.0f%% charged in %v (paper: 0%% -> 41%% in 2.5 h)\n",
 		res.StartSoC*100, res.EndSoC*100, res.Duration)
+	// The lifecycle Jawbone archetype runs the same §8(a) chain (the
+	// charger keeps its 6 cm USB perch regardless of the distance the
+	// home placed its sensor at).
+	jb := lifecycle.NewDevice(lifecycle.Jawbone, lifecycle.Policy{})
+	jm := chargeFlat(jb, 10, 0.95, time.Minute, 150*time.Minute)
+	fmt.Printf("  lifecycle ledger: %.0f%% charged after the same 2.5 h\n", jm.FinalSoC*100)
 
 	// Show the battery abstraction directly.
 	pack := harvester.NewNiMHPack()

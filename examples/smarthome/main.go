@@ -5,14 +5,19 @@
 // diurnal schedule, and a battery-free temperature sensor sits ten feet
 // away. The example prints the per-channel occupancy at a few times of
 // day and the sensor's update-rate distribution — the Fig. 14/15 story
-// for a single home.
+// for a single home — and then runs the stateful device-lifecycle
+// engine over the same day: the battery-free sensor's boot/outage
+// timeline, a duty-cycled camera accumulating frames on its coin cell,
+// and the Jawbone tracker charging on the router's USB port.
 package main
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/deploy"
+	"repro/internal/lifecycle"
 	"repro/internal/phy"
 	"repro/internal/stats"
 )
@@ -22,12 +27,13 @@ func main() {
 	fmt.Printf("deploying in home %d: %d users, %d devices, %d neighboring APs\n\n",
 		home.ID, home.Users, home.Devices, home.NeighborAPs)
 
-	res := deploy.Run(home, deploy.Options{
+	opts := deploy.Options{
 		BinWidth:         15 * time.Minute,
 		Window:           400 * time.Millisecond,
 		Hours:            24,
 		SensorDistanceFt: 10,
-	})
+	}
+	res := deploy.Run(home, opts)
 
 	fmt.Println("hour  ch1     ch6     ch11    cumulative  sensor")
 	for i := 0; i < len(res.Cumulative); i += 8 { // every 2 hours
@@ -44,4 +50,39 @@ func main() {
 	fmt.Printf("\nmean cumulative occupancy: %.1f%% (paper range across homes: 78-127%%)\n", res.MeanCumulative())
 	fmt.Printf("sensor update rate at 10 ft: p10 %.2f  median %.2f  p90 %.2f reads/s\n",
 		cdf.Quantile(0.1), cdf.Quantile(0.5), cdf.Quantile(0.9))
+
+	// The same day through the lifecycle engine: one deployment pass
+	// drives the whole household of stateful devices via the visitor
+	// run mode.
+	devs := lifecycle.Group{
+		lifecycle.NewDevice(lifecycle.TempSensor, lifecycle.Policy{}),
+		lifecycle.NewDevice(lifecycle.Camera, lifecycle.Policy{}),
+		lifecycle.NewDevice(lifecycle.Jawbone, lifecycle.Policy{}),
+	}
+	devs.Begin(opts.SensorDistanceFt, opts.BinWidth)
+	deploy.RunVisitor(home, opts, devs)
+
+	fmt.Println("\ndevice lifecycles over the same day:")
+	for _, d := range devs {
+		m := d.Metrics()
+		switch {
+		case d.Kind == lifecycle.TempSensor:
+			first := "never"
+			if !math.IsInf(m.FirstUpdateS, 1) {
+				first = fmt.Sprintf("%.1f s", m.FirstUpdateS)
+			}
+			fmt.Printf("  temp sensor:  first update %s, %.0f updates, outage %.1f%% of the day\n",
+				first, m.Updates, 100*m.OutageFraction())
+		case d.Kind == lifecycle.Camera:
+			first := "never"
+			if !math.IsInf(m.FirstUpdateS, 1) {
+				first = fmt.Sprintf("after %.0f min", m.FirstUpdateS/60)
+			}
+			fmt.Printf("  camera:       %d frames on the coin cell (first %s), soc ends at %.2f%%\n",
+				m.Frames, first, m.FinalSoC*100)
+		default:
+			fmt.Printf("  jawbone UP24: charged to %.0f%% on the USB perch (outage %.1f%%)\n",
+				m.FinalSoC*100, 100*m.OutageFraction())
+		}
+	}
 }

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/lifecycle"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
@@ -187,4 +188,40 @@ func TestGoldenFleetRun(t *testing.T) {
 	}
 	compareGolden(t, "fleet_text", text.String())
 	compareGolden(t, "fleet_json", js.String())
+}
+
+// goldenLifecycleConfig pins the device-lifecycle engine: the golden
+// fleet with a mixed device population spanning every archetype, run
+// over enough bins for cold starts, frames and charge trajectories to
+// show up in the aggregates.
+func goldenLifecycleConfig() fleet.Config {
+	cfg := goldenFleetConfig()
+	cfg.Homes = 8
+	cfg.Hours = 3
+	cfg.Population = fleet.DefaultPopulation()
+	var m lifecycle.Mix
+	m[lifecycle.TempSensor] = 0.3
+	m[lifecycle.RechargingTemp] = 0.15
+	m[lifecycle.Camera] = 0.2
+	m[lifecycle.Jawbone] = 0.15
+	m[lifecycle.LiIon] = 0.1
+	m[lifecycle.NiMH] = 0.1
+	cfg.Population.Devices = m
+	return cfg
+}
+
+func TestGoldenFleetLifecycleRun(t *testing.T) {
+	res, err := fleet.Run(goldenLifecycleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text, js bytes.Buffer
+	if err := res.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "fleet_lifecycle_text", text.String())
+	compareGolden(t, "fleet_lifecycle_json", js.String())
 }

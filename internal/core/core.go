@@ -14,7 +14,6 @@
 package core
 
 import (
-	"math"
 	"reflect"
 	"time"
 
@@ -75,12 +74,21 @@ func (l PowerLink) OccupancyMap() map[phy.Channel]float64 {
 // occupancy spread evenly over channels 1, 6 and 11.
 func PoWiFiLink(distanceFt, cumulativeOccupancy float64) PowerLink {
 	per := cumulativeOccupancy / 3
+	return PoWiFiLinkOccupancy(distanceFt, [3]float64{per, per, per})
+}
+
+// PoWiFiLinkOccupancy is PoWiFiLink with explicit per-channel
+// occupancies (phy.PoWiFiChannels order) — the single source of the
+// prototype link budget (30 dBm router, 6 dBi transmit, 2 dBi harvest
+// antenna) for callers that carry measured occupancy vectors, like the
+// deployment sampler and the lifecycle engine.
+func PoWiFiLinkOccupancy(distanceFt float64, occupancy [3]float64) PowerLink {
 	return PowerLink{
 		TxPowerDBm: 30,
 		TxGainDBi:  6,
 		RxGainDBi:  2,
 		DistanceFt: distanceFt,
-		Occupancy:  [3]float64{per, per, per},
+		Occupancy:  occupancy,
 	}
 }
 
@@ -160,6 +168,71 @@ func solverFor(h *harvester.Harvester, exact bool, cache **surface.Surface) oper
 	return *cache
 }
 
+// linkExpander is the per-device scratch + memo for materializing a
+// PowerLink's occupied channels without allocating: reusable channel/
+// occupancy buffers, and a link-budget memo keyed on the link geometry.
+// The deployment hot path evaluates the same geometry (power, gains,
+// distance, wall, model) bin after bin with only the occupancy
+// changing, and the RF budget is independent of occupancy — linkKey is
+// the last geometry (occupancy zeroed); chPowerW the full per-channel
+// received power it produces. Path loss models must be comparable
+// values for the key to work — both in-tree models are. Shared by the
+// temperature-sensor and camera devices (and through them by the
+// lifecycle engine's per-bin chain evaluations).
+type linkExpander struct {
+	chansBuf []harvester.ChannelPower
+	occBuf   []float64
+
+	linkKey   PowerLink
+	linkValid bool
+	chPowerW  [3]float64
+}
+
+// expand materializes the link's occupied channels into the expander's
+// scratch buffers, so per-bin evaluation neither allocates nor re-solves
+// the occupancy-independent RF budget when the geometry is unchanged.
+// Links whose path-loss model is a non-comparable type skip the memo (a
+// cache miss, never a panic).
+func (e *linkExpander) expand(link PowerLink) ([]harvester.ChannelPower, []float64) {
+	if link.PathLoss != nil && !reflect.TypeOf(link.PathLoss).Comparable() {
+		e.chansBuf, e.occBuf = link.appendChannelPowers(e.chansBuf[:0], e.occBuf[:0])
+		return e.chansBuf, e.occBuf
+	}
+	key := link
+	key.Occupancy = [3]float64{}
+	if !e.linkValid || key != e.linkKey {
+		for i, chNum := range phy.PoWiFiChannels {
+			rfl := rf.Link{
+				TxPowerDBm: link.TxPowerDBm,
+				TxAntenna:  rf.Antenna{GainDBi: link.TxGainDBi},
+				RxAntenna:  rf.Antenna{GainDBi: link.RxGainDBi},
+				DistanceM:  units.FeetToMeters(link.DistanceFt),
+				Wall:       link.Wall,
+				Model:      link.PathLoss,
+			}
+			e.chPowerW[i] = rfl.ReceivedPowerW(chNum.FreqHz())
+		}
+		e.linkKey = key
+		e.linkValid = true
+	}
+	chans, occ := e.chansBuf[:0], e.occBuf[:0]
+	for i, o := range link.Occupancy {
+		if o <= 0 {
+			continue
+		}
+		if o > 1 {
+			o = 1 // a single channel cannot be more than fully occupied
+		}
+		chans = append(chans, harvester.ChannelPower{
+			FreqHz: phy.PoWiFiChannels[i].FreqHz(),
+			PowerW: e.chPowerW[i],
+		})
+		occ = append(occ, o)
+	}
+	e.chansBuf, e.occBuf = chans, occ
+	return chans, occ
+}
+
 // TempSensorDevice is a complete Wi-Fi-powered temperature sensor (§5.1).
 // Devices are cheap to construct and not safe for concurrent use; give
 // each goroutine its own (the expensive state — the operating-point
@@ -178,20 +251,8 @@ type TempSensorDevice struct {
 	// expose it as -exact).
 	Exact bool
 
-	surf     *surface.Surface // memoized by solverFor
-	chansBuf []harvester.ChannelPower
-	occBuf   []float64 // with chansBuf: per-device scratch for link expansion
-
-	// Link-budget memo: the deployment hot path evaluates the same
-	// geometry (power, gains, distance, wall, model) bin after bin with
-	// only the occupancy changing, and the RF budget is independent of
-	// occupancy. linkKey is the last geometry (occupancy zeroed);
-	// chPowerW the full per-channel received power it produces. Path
-	// loss models must be comparable values for the key to work — both
-	// in-tree models are.
-	linkKey   PowerLink
-	linkValid bool
-	chPowerW  [3]float64
+	surf *surface.Surface // memoized by solverFor
+	exp  linkExpander
 }
 
 // NewBatteryFreeTempSensor returns the §5.1 battery-free prototype.
@@ -216,53 +277,8 @@ func NewRechargingTempSensor() *TempSensorDevice {
 // evaluated under bursty packet drive. It uses the same solver selection
 // as Evaluate, so the two methods agree on any device.
 func (d *TempSensorDevice) NetHarvestedW(link PowerLink) float64 {
-	chans, occ := d.expand(link)
+	chans, occ := d.exp.expand(link)
 	return solverFor(d.Harvester, d.Exact, &d.surf).BurstyOperating(chans, occ).HarvestedW
-}
-
-// expand materializes the link's occupied channels into the device's
-// scratch buffers, so per-bin evaluation neither allocates nor re-solves
-// the occupancy-independent RF budget when the geometry is unchanged.
-// Links whose path-loss model is a non-comparable type skip the memo (a
-// cache miss, never a panic).
-func (d *TempSensorDevice) expand(link PowerLink) ([]harvester.ChannelPower, []float64) {
-	if link.PathLoss != nil && !reflect.TypeOf(link.PathLoss).Comparable() {
-		d.chansBuf, d.occBuf = link.appendChannelPowers(d.chansBuf[:0], d.occBuf[:0])
-		return d.chansBuf, d.occBuf
-	}
-	key := link
-	key.Occupancy = [3]float64{}
-	if !d.linkValid || key != d.linkKey {
-		for i, chNum := range phy.PoWiFiChannels {
-			rfl := rf.Link{
-				TxPowerDBm: link.TxPowerDBm,
-				TxAntenna:  rf.Antenna{GainDBi: link.TxGainDBi},
-				RxAntenna:  rf.Antenna{GainDBi: link.RxGainDBi},
-				DistanceM:  units.FeetToMeters(link.DistanceFt),
-				Wall:       link.Wall,
-				Model:      link.PathLoss,
-			}
-			d.chPowerW[i] = rfl.ReceivedPowerW(chNum.FreqHz())
-		}
-		d.linkKey = key
-		d.linkValid = true
-	}
-	chans, occ := d.chansBuf[:0], d.occBuf[:0]
-	for i, o := range link.Occupancy {
-		if o <= 0 {
-			continue
-		}
-		if o > 1 {
-			o = 1 // a single channel cannot be more than fully occupied
-		}
-		chans = append(chans, harvester.ChannelPower{
-			FreqHz: phy.PoWiFiChannels[i].FreqHz(),
-			PowerW: d.chPowerW[i],
-		})
-		occ = append(occ, o)
-	}
-	d.chansBuf, d.occBuf = chans, occ
-	return chans, occ
 }
 
 // UpdateRate returns the sensor's energy-neutral update rate over the
@@ -286,7 +302,7 @@ func (d *TempSensorDevice) UpdateRate(link PowerLink) float64 {
 // and a per-bin cost of a table lookup instead of a Bessel/Newton solve.
 // Set Exact (or disable the surface globally) to force the direct path.
 func (d *TempSensorDevice) Evaluate(link PowerLink) (rateHz, netW float64) {
-	chans, occ := d.expand(link)
+	chans, occ := d.exp.expand(link)
 	s := solverFor(d.Harvester, d.Exact, &d.surf)
 	if !s.CanBootBursty(chans, occ) {
 		return 0, 0
@@ -313,6 +329,7 @@ type CameraDevice struct {
 	Exact bool
 
 	surf *surface.Surface // memoized by solverFor
+	exp  linkExpander
 }
 
 // NewBatteryFreeCamera returns the §5.2 battery-free prototype
@@ -337,9 +354,21 @@ func NewRechargingCamera() *CameraDevice {
 }
 
 // NetHarvestedW returns net banked power over the link, after standby
-// drain, evaluated under bursty packet drive.
+// drain, evaluated under bursty packet drive. It shares the pooled link
+// expander with Evaluate, so sweeping occupancy over a fixed geometry
+// (the lifecycle engine's per-bin pattern) allocates nothing.
 func (d *CameraDevice) NetHarvestedW(link PowerLink) float64 {
-	chans, occ := link.FullChannelPowers()
+	return d.Evaluate(link)
+}
+
+// Evaluate returns the camera's net banked power over the link from a
+// single operating-point solve: the bursty harvest of the bq25570
+// chain minus the standby drain. Like TempSensorDevice.Evaluate it is
+// served from the shared error-bounded surface unless Exact is set,
+// and the link expansion reuses per-device scratch so the per-bin hot
+// path is allocation-free in steady state.
+func (d *CameraDevice) Evaluate(link PowerLink) (netW float64) {
+	chans, occ := d.exp.expand(link)
 	op := solverFor(d.Harvester, d.Exact, &d.surf).BurstyOperating(chans, occ)
 	return op.HarvestedW - d.StandbyW
 }
@@ -364,11 +393,11 @@ func OperatingRangeFt(maxFt float64, operates func(distanceFt float64) bool) flo
 }
 
 // BatteryChargeTime returns the time to bring a battery from fromSoC to
-// toSoC at the given net charging power, or +Inf if netW <= 0.
+// toSoC at the given net charging power, or +Inf if netW <= 0. It is a
+// thin wrapper over harvester.Battery.ConstantPowerChargeTime — the
+// same ledger primitive the stateful lifecycle engine
+// (internal/lifecycle) integrates per bin — so the constant-power
+// shortcut and the engine cannot diverge.
 func BatteryChargeTime(b *harvester.Battery, fromSoC, toSoC, netW float64) time.Duration {
-	if netW <= 0 || toSoC <= fromSoC {
-		return time.Duration(math.MaxInt64)
-	}
-	energy := (toSoC - fromSoC) * b.CapacityJ / b.ChargeEff
-	return time.Duration(energy / netW * float64(time.Second))
+	return b.ConstantPowerChargeTime(fromSoC, toSoC, netW)
 }

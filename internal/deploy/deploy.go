@@ -230,3 +230,22 @@ func Run(cfg HomeConfig, opts Options) *Result {
 func RunStream(cfg HomeConfig, opts Options, visit func(BinSample)) {
 	NewSampler().RunStream(cfg, opts, visit)
 }
+
+// BinVisitor receives one BinSample per logging bin, in order. It is
+// the interface form of RunStream's callback, introduced for the
+// stateful device-lifecycle engine (internal/lifecycle): a lifecycle
+// device is a BinVisitor that threads storage state of charge across
+// the bins, and the interface dispatch keeps the per-home hot path
+// free of per-home closure allocations.
+type BinVisitor interface {
+	VisitBin(BinSample)
+}
+
+// RunVisitor simulates one home deployment, delivering each logging
+// bin to v in order — the lifecycle-visiting run mode. The simulation
+// is deterministic in (cfg, opts) alone; the visitor cannot perturb
+// it. Callers with many homes to run hold a Sampler and use its
+// RunVisitor method instead.
+func RunVisitor(cfg HomeConfig, opts Options, v BinVisitor) {
+	NewSampler().RunVisitor(cfg, opts, v)
+}

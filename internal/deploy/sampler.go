@@ -127,6 +127,13 @@ func (smp *Sampler) RunStream(cfg HomeConfig, opts Options, visit func(BinSample
 	smp.runStream(cfg, opts.withDefaults(), visit)
 }
 
+// RunVisitor is RunStream delivering bins through a BinVisitor instead
+// of a callback — the run mode the device-lifecycle engine drives. The
+// streams are identical: both paths fold through the same runStream.
+func (smp *Sampler) RunVisitor(cfg HomeConfig, opts Options, v BinVisitor) {
+	smp.runStream(cfg, opts.withDefaults(), v.VisitBin)
+}
+
 // runStream is RunStream after option normalization (callers must pass
 // a withDefaults-normalized opts, so Run and RunStream normalize
 // exactly once).
@@ -198,13 +205,7 @@ func (smp *Sampler) runStream(cfg HomeConfig, opts Options, visit func(BinSample
 			cum += v * 100
 		}
 
-		link := core.PowerLink{
-			TxPowerDBm: 30,
-			TxGainDBi:  6,
-			RxGainDBi:  2,
-			DistanceFt: opts.SensorDistanceFt,
-			Occupancy:  occ,
-		}
+		link := core.PoWiFiLinkOccupancy(opts.SensorDistanceFt, occ)
 		rate, netW := smp.sensor.Evaluate(link)
 		visit(BinSample{
 			Bin:           bin,

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/deploy"
+	"repro/internal/lifecycle"
 )
 
 // Population describes the distributions the fleet's households are
@@ -56,7 +57,17 @@ type Population struct {
 	// placement distance (the paper fixes 10 ft; a fleet varies it).
 	MinSensorFt float64 `json:"min_sensor_ft"`
 	MaxSensorFt float64 `json:"max_sensor_ft"`
+	// Devices holds per-archetype population shares for the device-
+	// lifecycle engine (internal/lifecycle): each home is assigned one
+	// archetype drawn from these weights on its own label stream. The
+	// zero mix (the default) disables the engine and runs the classic
+	// stateless aggregates only.
+	Devices lifecycle.Mix `json:"devices"`
 }
+
+// Lifecycle reports whether the population enables the stateful
+// device-lifecycle engine.
+func (p Population) Lifecycle() bool { return p.Devices.Enabled() }
 
 // DefaultPopulation returns a mixed urban/suburban household
 // population anchored on Table 1's observed ranges (1-3 users, 1-6
@@ -132,6 +143,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Population == (Population{}) {
 		c.Population = d.Population
+	} else if devOnly := (Population{Devices: c.Population.Devices}); devOnly == c.Population {
+		// Only the device mix was specified (the CLI's -devices flag):
+		// fill the household distributions from the default population.
+		pop := d.Population
+		pop.Devices = c.Population.Devices
+		c.Population = pop
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -163,6 +180,9 @@ func (c Config) withDefaults() (Config, error) {
 		p.WeekendFraction < 0 || p.WeekendFraction > 1 ||
 		p.MinSensorFt <= 0 || p.MaxSensorFt < p.MinSensorFt {
 		return c, fmt.Errorf("fleet: invalid population %+v", p)
+	}
+	if err := p.Devices.Validate(); err != nil {
+		return c, fmt.Errorf("fleet: %v", err)
 	}
 	return c, nil
 }

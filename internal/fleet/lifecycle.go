@@ -1,0 +1,230 @@
+package fleet
+
+import (
+	"math"
+
+	"repro/internal/lifecycle"
+	"repro/internal/stats"
+)
+
+// Lifecycle sketch resolutions. Update intervals of a responsive
+// duty-cycled device sit well under fifteen minutes; state of charge
+// is a percentage (the extra bin past 100 keeps a full battery inside
+// the range instead of in the overflow counter). Time-to-first-update
+// and time-to-full are bounded by the run horizon, so those sketches
+// take their upper edge from the resolved configuration.
+const (
+	intervalHiS  = 900
+	intervalBins = 1800
+	socHiPct     = 101
+	socBins      = 1010
+	horizonBins  = 2000
+)
+
+// archPartial is one worker's pooled per-bin lifecycle aggregates for
+// one archetype. Only exactly mergeable state lives here — integer-
+// count sketches and counters — so worker count and scheduling cannot
+// change the merged result; order-sensitive per-home scalars travel
+// through homeStats and the reorder buffer instead.
+type archPartial struct {
+	interval   *stats.Sketch // per-bin mean update interval, s (bins with updates)
+	soc        *stats.Sketch // per-bin state of charge, % (battery-backed kinds)
+	outageBins uint64
+	totalBins  uint64
+}
+
+func (ap *archPartial) init() {
+	ap.interval = stats.NewSketch(0, intervalHiS, intervalBins)
+	ap.soc = stats.NewSketch(0, socHiPct, socBins)
+}
+
+// add folds one lifecycle bin observation.
+func (ap *archPartial) add(b lifecycle.BinStats) {
+	ap.totalBins++
+	if b.Outage {
+		ap.outageBins++
+	}
+	if b.Updates > 0 {
+		ap.interval.Add(b.IntervalS)
+	}
+	if !math.IsNaN(b.SoCPct) {
+		ap.soc.Add(b.SoCPct)
+	}
+}
+
+// newArchPartials allocates the per-archetype pooled aggregates of one
+// worker (or of the serial fast path).
+func newArchPartials() *[lifecycle.NumKinds]archPartial {
+	aps := new([lifecycle.NumKinds]archPartial)
+	for i := range aps {
+		aps[i].init()
+	}
+	return aps
+}
+
+// lifeHomeStats is the lifecycle slice of a home's scalar summary:
+// the device's time-domain metrics, reduced in home-index order.
+type lifeHomeStats struct {
+	kind        lifecycle.Kind
+	ttfuS       float64 // +Inf when the device never produced an update
+	outageFrac  float64
+	updates     float64
+	frames      float64
+	chargeTimeS float64 // +Inf when a charger never filled
+	finalSoC    float64 // NaN for the battery-free sensor
+	minSoC      float64
+}
+
+// archResult aggregates one archetype across the fleet: ordered
+// per-home reductions plus the merged pooled per-bin aggregates.
+type archResult struct {
+	Homes uint64
+
+	TTFU        *stats.Sketch
+	TTFUW       stats.Welford
+	NeverActive uint64 // homes whose device never produced an update
+
+	Outage  *stats.Sketch // per-home outage percentage
+	OutageW stats.Welford
+
+	UpdatesW stats.Welford
+	FramesW  stats.Welford
+
+	ChargeTime   *stats.Sketch
+	ChargeTimeW  stats.Welford
+	Charged      uint64 // charger homes that reached FullSoC
+	NeverCharged uint64
+
+	FinalSoCW stats.Welford
+	MinSoCW   stats.Welford
+
+	// Merged pooled per-bin aggregates.
+	Interval   *stats.Sketch
+	SoC        *stats.Sketch
+	OutageBins uint64
+	TotalBins  uint64
+}
+
+// mergePooled folds one worker's pooled per-bin aggregates for this
+// archetype into the result (exact: sketch merges and counter sums).
+func (ar *archResult) mergePooled(ap *archPartial) {
+	ar.Interval.Merge(ap.interval)
+	ar.SoC.Merge(ap.soc)
+	ar.OutageBins += ap.outageBins
+	ar.TotalBins += ap.totalBins
+}
+
+func newArchResult(horizonS float64) *archResult {
+	return &archResult{
+		TTFU:       stats.NewSketch(0, horizonS, horizonBins),
+		Outage:     stats.NewSketch(0, socHiPct, socBins),
+		ChargeTime: stats.NewSketch(0, horizonS, horizonBins),
+		Interval:   stats.NewSketch(0, intervalHiS, intervalBins),
+		SoC:        stats.NewSketch(0, socHiPct, socBins),
+	}
+}
+
+// addHome folds one home's lifecycle scalars; callers invoke it in
+// home-index order (the Welford moments are order-sensitive).
+func (ar *archResult) addHome(kind lifecycle.Kind, ls lifeHomeStats) {
+	ar.Homes++
+	// Chargers produce no updates by construction; their headline
+	// metric is ChargeTime below, so they skip the first-update
+	// accounting rather than reporting every home as never-active.
+	if !kind.Charger() {
+		if math.IsInf(ls.ttfuS, 1) {
+			ar.NeverActive++
+		} else {
+			ar.TTFU.Add(ls.ttfuS)
+			ar.TTFUW.Add(ls.ttfuS)
+		}
+	}
+	ar.Outage.Add(ls.outageFrac * 100)
+	ar.OutageW.Add(ls.outageFrac * 100)
+	ar.UpdatesW.Add(ls.updates)
+	ar.FramesW.Add(ls.frames)
+	if kind.Charger() {
+		if math.IsInf(ls.chargeTimeS, 1) {
+			ar.NeverCharged++
+		} else {
+			ar.ChargeTime.Add(ls.chargeTimeS)
+			ar.ChargeTimeW.Add(ls.chargeTimeS)
+			ar.Charged++
+		}
+	}
+	if !math.IsNaN(ls.finalSoC) {
+		ar.FinalSoCW.Add(ls.finalSoC * 100)
+		ar.MinSoCW.Add(ls.minSoC * 100)
+	}
+}
+
+// ArchetypeSummary is the serialized fleet report for one archetype.
+type ArchetypeSummary struct {
+	Kind  string `json:"kind"`
+	Homes uint64 `json:"homes"`
+
+	TotalBins         uint64  `json:"total_bins"`
+	OutageBins        uint64  `json:"outage_bins"`
+	OutageBinFraction float64 `json:"outage_bin_fraction"`
+
+	// TimeToFirstUpdateS distributes per-home time to first update over
+	// homes whose device ever produced one; HomesNeverActive counts the
+	// rest.
+	TimeToFirstUpdateS DistSummary `json:"time_to_first_update_s"`
+	HomesNeverActive   uint64      `json:"homes_never_active"`
+
+	// HomeOutagePct distributes each home's time-weighted outage share.
+	HomeOutagePct DistSummary `json:"home_outage_pct"`
+
+	UpdatesPerHomeMean float64 `json:"updates_per_home_mean"`
+	FramesPerHomeMean  float64 `json:"frames_per_home_mean"`
+
+	// UpdateIntervalS pools per-bin mean update intervals fleet-wide.
+	UpdateIntervalS DistSummary `json:"update_interval_s"`
+
+	// SoCPct pools per-bin state of charge; the scalar means summarize
+	// the per-home trajectory endpoints.
+	SoCPct          DistSummary `json:"soc_pct"`
+	FinalSoCPctMean float64     `json:"final_soc_pct_mean"`
+	MinSoCPctMean   float64     `json:"min_soc_pct_mean"`
+
+	// ChargeTimeS distributes time to full charge over charger homes
+	// that reached the policy's FullSoC within the horizon.
+	ChargeTimeS  DistSummary `json:"charge_time_s"`
+	HomesCharged uint64      `json:"homes_charged"`
+}
+
+// LifecycleSummary is the device-lifecycle section of the fleet report,
+// present only when the population carries a device mix.
+type LifecycleSummary struct {
+	// Devices echoes the population's archetype shares.
+	Devices lifecycle.Mix `json:"devices"`
+	// Archetypes lists the per-archetype aggregates in canonical Kind
+	// order, populated kinds only.
+	Archetypes []ArchetypeSummary `json:"archetypes"`
+}
+
+// summarizeArch derives one archetype's serialized section.
+func summarizeArch(k lifecycle.Kind, ar *archResult) ArchetypeSummary {
+	s := ArchetypeSummary{
+		Kind:               k.String(),
+		Homes:              ar.Homes,
+		TotalBins:          ar.TotalBins,
+		OutageBins:         ar.OutageBins,
+		TimeToFirstUpdateS: distFromSketchWelford(ar.TTFU, ar.TTFUW),
+		HomesNeverActive:   ar.NeverActive,
+		HomeOutagePct:      distFromSketchWelford(ar.Outage, ar.OutageW),
+		UpdatesPerHomeMean: ar.UpdatesW.Mean,
+		FramesPerHomeMean:  ar.FramesW.Mean,
+		UpdateIntervalS:    distFromSketch(ar.Interval),
+		SoCPct:             distFromSketch(ar.SoC),
+		FinalSoCPctMean:    ar.FinalSoCW.Mean,
+		MinSoCPctMean:      ar.MinSoCW.Mean,
+		ChargeTimeS:        distFromSketchWelford(ar.ChargeTime, ar.ChargeTimeW),
+		HomesCharged:       ar.Charged,
+	}
+	if ar.TotalBins > 0 {
+		s.OutageBinFraction = float64(ar.OutageBins) / float64(ar.TotalBins)
+	}
+	return s
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"strconv"
 
+	"repro/internal/lifecycle"
 	"repro/internal/phy"
 	"repro/internal/stats"
 )
@@ -36,6 +37,11 @@ type homeStats struct {
 	meanChPct     [3]float64
 	meanHarvestUW float64
 	meanRate      float64
+	// life carries the home's device-lifecycle scalars when the
+	// population enables the engine (hasLife); the classic aggregates
+	// above are produced either way.
+	hasLife bool
+	life    lifeHomeStats
 }
 
 // partial holds one worker's pooled per-bin aggregates. Every field
@@ -47,14 +53,21 @@ type partial struct {
 	latency    *stats.Sketch
 	silentBins uint64
 	totalBins  uint64
+	// arch holds the pooled per-bin lifecycle aggregates per archetype,
+	// allocated only when the population enables the engine.
+	arch *[lifecycle.NumKinds]archPartial
 }
 
-func newPartial() *partial {
-	return &partial{
+func newPartial(cfg Config) *partial {
+	p := &partial{
 		binOcc:  stats.NewSketch(0, occHiPct, occBins),
 		harvest: stats.NewSketch(0, harvestHiUW, harvestBins),
 		latency: stats.NewSketch(0, latencyHiS, latencyBins),
 	}
+	if cfg.Population.Lifecycle() {
+		p.arch = newArchPartials()
+	}
+	return p
 }
 
 // Result holds the fleet-level aggregates of one run.
@@ -78,6 +91,10 @@ type Result struct {
 	Latency    *stats.Sketch // per-bin sensor update latency, s (responsive bins)
 	SilentBins uint64        // bins where the sensor could not boot
 	TotalBins  uint64
+
+	// Arch holds the per-archetype lifecycle aggregates, nil unless the
+	// population carries a device mix.
+	Arch *[lifecycle.NumKinds]*archResult
 }
 
 func newResult(cfg Config) *Result {
@@ -91,6 +108,13 @@ func newResult(cfg Config) *Result {
 	}
 	for i := range r.ChOcc {
 		r.ChOcc[i] = stats.NewSketch(0, chHiPct, chBins)
+	}
+	if cfg.Population.Lifecycle() {
+		r.Arch = new([lifecycle.NumKinds]*archResult)
+		horizonS := cfg.Hours * 3600
+		for i := range r.Arch {
+			r.Arch[i] = newArchResult(horizonS)
+		}
 	}
 	return r
 }
@@ -107,6 +131,9 @@ func (r *Result) addHome(hs homeStats) {
 	r.OccW.Add(hs.meanCumPct)
 	r.HarvestW.Add(hs.meanHarvestUW)
 	r.RateW.Add(hs.meanRate)
+	if hs.hasLife && r.Arch != nil {
+		r.Arch[hs.life.kind].addHome(hs.life.kind, hs.life)
+	}
 }
 
 // mergePartial folds one worker's pooled aggregates into the result.
@@ -116,6 +143,11 @@ func (r *Result) mergePartial(p *partial) {
 	r.Latency.Merge(p.latency)
 	r.SilentBins += p.silentBins
 	r.TotalBins += p.totalBins
+	if p.arch != nil && r.Arch != nil {
+		for i := range p.arch {
+			r.Arch[i].mergePooled(&p.arch[i])
+		}
+	}
 }
 
 // SilentFraction returns the fraction of logged bins in which the
@@ -142,6 +174,14 @@ type DistSummary struct {
 	P99       float64 `json:"p99"`
 	Underflow uint64  `json:"underflow"`
 	Overflow  uint64  `json:"overflow"`
+}
+
+// isChargerName reports whether a serialized archetype name is a pure
+// battery charger (used to print "charged 0/N" rather than omitting
+// the line when no home's battery filled within the horizon).
+func isChargerName(name string) bool {
+	k, err := lifecycle.ParseKind(name)
+	return err == nil && k.Charger()
 }
 
 // distFromSketch summarizes a pooled sketch; mean and stddev come from
@@ -216,6 +256,10 @@ type Summary struct {
 	HomeOccupancyCDF []stats.Point `json:"home_occupancy_cdf"`
 	BinHarvestCDF    []stats.Point `json:"bin_harvest_cdf"`
 	BinLatencyCDF    []stats.Point `json:"bin_latency_cdf"`
+
+	// Lifecycle holds the device-lifecycle engine's per-archetype
+	// report; nil unless the population carries a device mix.
+	Lifecycle *LifecycleSummary `json:"lifecycle,omitempty"`
 }
 
 // Summarize derives the serializable report from the aggregates.
@@ -243,6 +287,15 @@ func (r *Result) Summarize() Summary {
 	}
 	for i, chNum := range phy.PoWiFiChannels {
 		s.ChannelOccupancyPct[chNum.String()] = distFromSketch(r.ChOcc[i])
+	}
+	if r.Arch != nil {
+		ls := &LifecycleSummary{Devices: r.Config.Population.Devices}
+		for _, k := range lifecycle.Kinds() {
+			if ar := r.Arch[k]; ar.Homes > 0 {
+				ls.Archetypes = append(ls.Archetypes, summarizeArch(k, ar))
+			}
+		}
+		s.Lifecycle = ls
 	}
 	return s
 }
@@ -297,6 +350,26 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	curve("home_occupancy_pct", s.HomeOccupancyCDF)
 	curve("bin_harvest_uw", s.BinHarvestCDF)
 	curve("bin_latency_s", s.BinLatencyCDF)
+	if s.Lifecycle != nil {
+		for _, a := range s.Lifecycle.Archetypes {
+			pre := "lifecycle/" + a.Kind + "/"
+			dist(pre+"time_to_first_update_s", a.TimeToFirstUpdateS)
+			dist(pre+"home_outage_pct", a.HomeOutagePct)
+			dist(pre+"update_interval_s", a.UpdateIntervalS)
+			dist(pre+"soc_pct", a.SoCPct)
+			dist(pre+"charge_time_s", a.ChargeTimeS)
+			scalar := func(name string, v float64) { row("lifecycle", pre+name, "", f(v), "", "", "", "", "", "", "", "") }
+			row("lifecycle", pre+"homes", u(a.Homes), "", "", "", "", "", "", "", "", "")
+			row("lifecycle", pre+"total_bins", u(a.TotalBins), "", "", "", "", "", "", "", "", "")
+			row("lifecycle", pre+"outage_bins", u(a.OutageBins), "", "", "", "", "", "", "", "", "")
+			row("lifecycle", pre+"homes_never_active", u(a.HomesNeverActive), "", "", "", "", "", "", "", "", "")
+			row("lifecycle", pre+"homes_charged", u(a.HomesCharged), "", "", "", "", "", "", "", "", "")
+			scalar("updates_per_home_mean", a.UpdatesPerHomeMean)
+			scalar("frames_per_home_mean", a.FramesPerHomeMean)
+			scalar("final_soc_pct_mean", a.FinalSoCPctMean)
+			scalar("min_soc_pct_mean", a.MinSoCPctMean)
+		}
+	}
 	cw.Flush()
 	return cw.Error()
 }
@@ -332,6 +405,33 @@ func (r *Result) WriteText(w io.Writer) error {
 	p("sensor update latency (bins):  p50 %.2f s  p95 %.2f s  p99 %.2f s  (silent bins: %.1f%%)",
 		s.UpdateLatencyS.P50, s.UpdateLatencyS.P95, s.UpdateLatencyS.P99, 100*s.SilentFraction)
 	p("mean sensor update rate:       %.2f Hz over %d bins", s.MeanUpdateRateHz, s.TotalBins)
+	if s.Lifecycle != nil {
+		p("")
+		p("device lifecycle (%s):", s.Lifecycle.Devices)
+		for _, a := range s.Lifecycle.Archetypes {
+			p("  %-8s %d homes, outage %.1f%% of bins (per-home mean %.1f%%)",
+				a.Kind, a.Homes, 100*a.OutageBinFraction, a.HomeOutagePct.Mean)
+			if a.TimeToFirstUpdateS.N > 0 || a.HomesNeverActive > 0 {
+				p("           first update p50 %.1f s  p95 %.1f s  (never: %d/%d)",
+					a.TimeToFirstUpdateS.P50, a.TimeToFirstUpdateS.P95, a.HomesNeverActive, a.Homes)
+			}
+			if a.UpdateIntervalS.N > 0 {
+				p("           update interval p50 %.2f s  p95 %.2f s  (%.1f updates/home)",
+					a.UpdateIntervalS.P50, a.UpdateIntervalS.P95, a.UpdatesPerHomeMean)
+			}
+			if a.FramesPerHomeMean > 0 {
+				p("           frames/home %.1f", a.FramesPerHomeMean)
+			}
+			if a.SoCPct.N > 0 {
+				p("           soc p50 %.2f%%  p95 %.2f%%  final %.2f%%  min %.2f%%",
+					a.SoCPct.P50, a.SoCPct.P95, a.FinalSoCPctMean, a.MinSoCPctMean)
+			}
+			if a.HomesCharged > 0 || (a.ChargeTimeS.N == 0 && isChargerName(a.Kind)) {
+				p("           charged %d/%d homes, charge time p50 %.2f h  p95 %.2f h",
+					a.HomesCharged, a.Homes, a.ChargeTimeS.P50/3600, a.ChargeTimeS.P95/3600)
+			}
+		}
+	}
 	p("")
 	p("occupancy CDF (per-home mean cumulative %%):")
 	for _, pt := range s.HomeOccupancyCDF {

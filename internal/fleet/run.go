@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/deploy"
+	"repro/internal/lifecycle"
 	"repro/internal/xrand"
 )
 
@@ -11,6 +12,44 @@ import (
 // Sampler fully re-derives its state from (seed, labels) on every bin,
 // so reuse across runs is as output-invisible as reuse across homes.
 var samplerPool = sync.Pool{New: func() any { return deploy.NewSampler() }}
+
+// worker is one shard's pooled per-worker state: the sampling context,
+// the synthesis RNG, the pooled partial aggregates, and — in lifecycle
+// mode — one pooled device per archetype, built lazily and reused
+// across every home the worker runs (Device.Begin re-derives all run
+// state, so pooling is output-invisible; the lifecycle parity suite
+// pins this).
+type worker struct {
+	cfg      Config
+	smp      *deploy.Sampler
+	synthRng *xrand.Rand
+	p        *partial
+	devs     [lifecycle.NumKinds]*lifecycle.Device
+}
+
+func newWorker(cfg Config, p *partial) *worker {
+	return &worker{
+		cfg:      cfg,
+		smp:      samplerPool.Get().(*deploy.Sampler),
+		synthRng: xrand.New(0),
+		p:        p,
+	}
+}
+
+func (w *worker) release() { samplerPool.Put(w.smp) }
+
+// device returns the worker's pooled device of the given archetype,
+// its OnBin hook bound once to the worker's pooled partial.
+func (w *worker) device(k lifecycle.Kind) *lifecycle.Device {
+	if w.devs[k] == nil {
+		d := lifecycle.NewDevice(k, lifecycle.Policy{})
+		d.Exact = w.cfg.Exact
+		ap := &w.p.arch[k]
+		d.OnBin = ap.add
+		w.devs[k] = d
+	}
+	return w.devs[k]
+}
 
 // Run executes the fleet simulation: cfg.Homes independent single-home
 // deployments sharded across cfg.Workers workers, streamed into the
@@ -21,7 +60,11 @@ var samplerPool = sync.Pool{New: func() any { return deploy.NewSampler() }}
 // The output is bit-for-bit identical for any worker count: pooled
 // per-bin aggregates merge exactly in any order, and per-home scalar
 // summaries pass through a reorder buffer so the order-sensitive
-// Welford reductions always happen in home-index order.
+// Welford reductions always happen in home-index order. The device-
+// lifecycle engine (enabled by a population device mix) follows the
+// same discipline: per-bin lifecycle observations land in exactly
+// mergeable sketches, per-home time-domain scalars ride the reorder
+// buffer.
 func Run(cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -38,14 +81,21 @@ func Run(cfg Config) (*Result, error) {
 	// is identical to the sharded path by construction.
 	if cfg.Workers == 1 {
 		p := &partial{binOcc: res.BinOcc, harvest: res.Harvest, latency: res.Latency}
-		smp := samplerPool.Get().(*deploy.Sampler)
-		synthRng := xrand.New(0)
-		for i := 0; i < cfg.Homes; i++ {
-			res.addHome(runHome(cfg, i, p, smp, synthRng))
+		if cfg.Population.Lifecycle() {
+			p.arch = newArchPartials()
 		}
-		samplerPool.Put(smp)
+		w := newWorker(cfg, p)
+		for i := 0; i < cfg.Homes; i++ {
+			res.addHome(w.runHome(i))
+		}
+		w.release()
 		res.SilentBins += p.silentBins
 		res.TotalBins += p.totalBins
+		if p.arch != nil {
+			for i := range p.arch {
+				res.Arch[i].mergePooled(&p.arch[i])
+			}
+		}
 		return res, nil
 	}
 
@@ -57,9 +107,9 @@ func Run(cfg Config) (*Result, error) {
 	out := make(chan msg, cfg.Workers)
 	partials := make([]*partial, cfg.Workers)
 	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		p := newPartial()
-		partials[w] = p
+	for i := 0; i < cfg.Workers; i++ {
+		p := newPartial(cfg)
+		partials[i] = p
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -67,12 +117,11 @@ func Run(cfg Config) (*Result, error) {
 			// router, monitors and traffic sources are built once and reset
 			// per bin, so the steady-state hot path stops paying allocator
 			// and GC tax. Pooling is output-invisible (see deploy.Sampler).
-			smp := samplerPool.Get().(*deploy.Sampler)
-			synthRng := xrand.New(0)
+			w := newWorker(cfg, p)
 			for idx := range jobs {
-				out <- msg{idx, runHome(cfg, idx, p, smp, synthRng)}
+				out <- msg{idx, w.runHome(idx)}
 			}
-			samplerPool.Put(smp)
+			w.release()
 		}()
 	}
 	go func() {
@@ -112,10 +161,17 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // runHome simulates one synthesized home on the worker's pooled
-// sampler, streaming its bins into the worker's pooled partial and
+// sampler, streaming its bins into the worker's pooled partial (and,
+// in lifecycle mode, through the home's pooled lifecycle device) and
 // returning the home's scalar summary.
-func runHome(cfg Config, idx int, p *partial, smp *deploy.Sampler, synthRng *xrand.Rand) homeStats {
-	h := synthesizeHome(synthRng, cfg, idx)
+func (w *worker) runHome(idx int) homeStats {
+	cfg := w.cfg
+	h := synthesizeHome(w.synthRng, cfg, idx)
+	var dev *lifecycle.Device
+	if cfg.Population.Lifecycle() {
+		dev = w.device(synthesizeDevice(w.synthRng, cfg, idx))
+		dev.Begin(h.SensorFt, cfg.BinWidth)
+	}
 	opts := deploy.Options{
 		BinWidth:         cfg.BinWidth,
 		Window:           cfg.Window,
@@ -128,7 +184,8 @@ func runHome(cfg Config, idx int, p *partial, smp *deploy.Sampler, synthRng *xra
 		sumCum, sumHarvest, sumRate float64
 		sumCh                       [3]float64
 	)
-	smp.RunStream(h.HomeConfig, opts, func(s deploy.BinSample) {
+	p := w.p
+	w.smp.RunStream(h.HomeConfig, opts, func(s deploy.BinSample) {
 		nBins++
 		sumCum += s.CumulativePct
 		for i := range sumCh {
@@ -153,6 +210,9 @@ func runHome(cfg Config, idx int, p *partial, smp *deploy.Sampler, synthRng *xra
 		} else {
 			p.silentBins++
 		}
+		if dev != nil {
+			dev.VisitBin(s)
+		}
 	})
 	if nBins == 0 {
 		return homeStats{}
@@ -165,6 +225,20 @@ func runHome(cfg Config, idx int, p *partial, smp *deploy.Sampler, synthRng *xra
 	}
 	for i := range sumCh {
 		hs.meanChPct[i] = sumCh[i] / n
+	}
+	if dev != nil {
+		m := dev.Metrics()
+		hs.hasLife = true
+		hs.life = lifeHomeStats{
+			kind:        m.Kind,
+			ttfuS:       m.FirstUpdateS,
+			outageFrac:  m.OutageFraction(),
+			updates:     m.Updates,
+			frames:      float64(m.Frames),
+			chargeTimeS: m.TimeToFullS,
+			finalSoC:    m.FinalSoC,
+			minSoC:      m.MinSoC,
+		}
 	}
 	return hs
 }

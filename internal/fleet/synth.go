@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"repro/internal/deploy"
+	"repro/internal/lifecycle"
 	"repro/internal/xrand"
 )
 
@@ -59,4 +60,21 @@ func synthesizeHome(rng *xrand.Rand, cfg Config, i int) Home {
 		},
 		SensorFt: rng.Uniform(p.MinSensorFt, p.MaxSensorFt),
 	}
+}
+
+// SynthesizeDevice deterministically draws home i's device archetype
+// from the population's lifecycle mix. The draw lives on its own label
+// stream ("fleet/device/i"), independent of the home-parameter stream,
+// so enabling the lifecycle engine never perturbs the synthesized
+// households (classic aggregates stay bit-identical). It panics when
+// the mix is disabled; callers gate on Population.Lifecycle.
+func SynthesizeDevice(cfg Config, i int) lifecycle.Kind {
+	return synthesizeDevice(xrand.New(0), cfg, i)
+}
+
+// synthesizeDevice is SynthesizeDevice drawing through a caller-owned
+// generator, reseeded in place by the hot loop.
+func synthesizeDevice(rng *xrand.Rand, cfg Config, i int) lifecycle.Kind {
+	rng.Reseed(xrand.LabelSeedInt(cfg.Seed, "fleet/device/", i))
+	return cfg.Population.Devices.Pick(rng.Float64())
 }

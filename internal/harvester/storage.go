@@ -17,6 +17,7 @@ package harvester
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Storage is an energy store that the harvesting chain charges and sensor
@@ -203,12 +204,39 @@ func (b *Battery) Discharge(j float64) float64 {
 	return j
 }
 
-// SelfDischarge applies dt seconds of self-discharge.
+// SelfDischarge applies dt seconds of self-discharge. Non-positive dt
+// is a no-op (time never runs backwards through the ledger), and the
+// loss factor clamps at zero so a pathologically long step empties the
+// battery instead of flipping the stored energy negative.
 func (b *Battery) SelfDischarge(dt float64) {
-	b.stored *= 1 - b.SelfDischargePerDay*dt/86400
+	if dt <= 0 {
+		return
+	}
+	f := 1 - b.SelfDischargePerDay*dt/86400
+	if f < 0 {
+		f = 0
+	}
+	b.stored *= f
 	if b.stored < 0 {
 		b.stored = 0
 	}
+}
+
+// ConstantPowerChargeTime returns the time to bring the battery from
+// fromSoC to toSoC at a constant net charging power, or +Inf (as the
+// maximum Duration) when netW <= 0 or toSoC <= fromSoC. It is the
+// closed form of the lifecycle ledger's per-bin integration: Charge
+// applies ChargeEff and clamps at capacity, so stepping a constant
+// power through the ledger sums to exactly this energy — both
+// core.BatteryChargeTime and internal/lifecycle route through this one
+// implementation so the shortcut and the stateful engine cannot
+// diverge.
+func (b *Battery) ConstantPowerChargeTime(fromSoC, toSoC, netW float64) time.Duration {
+	if netW <= 0 || toSoC <= fromSoC {
+		return time.Duration(math.MaxInt64)
+	}
+	energy := (toSoC - fromSoC) * b.CapacityJ / b.ChargeEff
+	return time.Duration(energy / netW * float64(time.Second))
 }
 
 // String describes the battery and its state of charge.

@@ -1,0 +1,131 @@
+package harvester
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestBatterySelfDischargeEdges pins the ledger-facing contract of
+// SelfDischarge: zero and negative dt are no-ops, an empty battery
+// stays empty, an ordinary step removes exactly the per-day fraction,
+// and a pathologically long step clamps at zero instead of driving the
+// stored energy negative.
+func TestBatterySelfDischargeEdges(t *testing.T) {
+	b := NewNiMHPack()
+	b.SetSoC(0.5)
+	before := b.StoredEnergy()
+
+	b.SelfDischarge(0)
+	if b.StoredEnergy() != before {
+		t.Errorf("zero dt changed stored energy: %v -> %v", before, b.StoredEnergy())
+	}
+	b.SelfDischarge(-3600)
+	if b.StoredEnergy() != before {
+		t.Errorf("negative dt changed stored energy: %v -> %v", before, b.StoredEnergy())
+	}
+
+	b.SelfDischarge(86400)
+	want := before * (1 - b.SelfDischargePerDay)
+	if math.Abs(b.StoredEnergy()-want) > 1e-9*want {
+		t.Errorf("one day of self-discharge: stored %v, want %v", b.StoredEnergy(), want)
+	}
+
+	// A step long enough to push the loss factor past 1 must empty the
+	// battery, never flip it negative.
+	huge := 2 * 86400 / b.SelfDischargePerDay
+	b.SelfDischarge(huge)
+	if b.StoredEnergy() != 0 {
+		t.Errorf("huge dt left stored = %v, want 0", b.StoredEnergy())
+	}
+
+	// Empty battery stays empty.
+	b.SelfDischarge(86400)
+	if b.StoredEnergy() != 0 {
+		t.Errorf("self-discharge resurrected an empty battery: %v", b.StoredEnergy())
+	}
+}
+
+// TestBatterySetSoCBounds pins the SoC clamp and the stored-energy
+// round trip.
+func TestBatterySetSoCBounds(t *testing.T) {
+	b := NewLiIonCoinCell()
+	b.SetSoC(-0.3)
+	if b.SoC() != 0 {
+		t.Errorf("SetSoC(-0.3) -> SoC %v, want 0", b.SoC())
+	}
+	b.SetSoC(1.7)
+	if b.SoC() != 1 {
+		t.Errorf("SetSoC(1.7) -> SoC %v, want 1", b.SoC())
+	}
+	if b.StoredEnergy() != b.CapacityJ {
+		t.Errorf("full battery stores %v J, capacity is %v J", b.StoredEnergy(), b.CapacityJ)
+	}
+	b.SetSoC(0.25)
+	if got, want := b.StoredEnergy(), 0.25*b.CapacityJ; math.Abs(got-want) > 1e-12*want {
+		t.Errorf("SetSoC(0.25) stores %v J, want %v J", got, want)
+	}
+	if v := b.Voltage(); v < 0.95*b.NominalV || v > 1.05*b.NominalV {
+		t.Errorf("terminal voltage %v V outside the ±5%% band around %v V", v, b.NominalV)
+	}
+
+	z := &Battery{} // zero capacity: SoC must not divide by zero
+	if z.SoC() != 0 {
+		t.Errorf("zero-capacity battery SoC = %v, want 0", z.SoC())
+	}
+}
+
+// TestBatteryChargeDischargeBounds pins the energy clamps the lifecycle
+// ledger leans on: charge acceptance efficiency, the capacity ceiling,
+// the empty floor, and rejection of non-positive transfers.
+func TestBatteryChargeDischargeBounds(t *testing.T) {
+	b := NewJawboneUP24Battery()
+	if got := b.Charge(-1); got != 0 {
+		t.Errorf("Charge(-1) stored %v J, want 0", got)
+	}
+	if got := b.Discharge(-1); got != 0 {
+		t.Errorf("Discharge(-1) delivered %v J, want 0", got)
+	}
+
+	stored := b.Charge(10)
+	if want := 10 * b.ChargeEff; math.Abs(stored-want) > 1e-12 {
+		t.Errorf("Charge(10) stored %v J, want %v J (efficiency %v)", stored, want, b.ChargeEff)
+	}
+
+	// Overcharging clamps at capacity and reports only what fit.
+	stored = b.Charge(10 * b.CapacityJ)
+	if b.StoredEnergy() != b.CapacityJ {
+		t.Errorf("overcharge left stored %v J, want capacity %v J", b.StoredEnergy(), b.CapacityJ)
+	}
+	if math.Abs(stored-(b.CapacityJ-10*b.ChargeEff)) > 1e-9 {
+		t.Errorf("overcharge reported %v J stored", stored)
+	}
+
+	// Overdischarging drains to zero and reports only what was there.
+	got := b.Discharge(10 * b.CapacityJ)
+	if got != b.CapacityJ || b.StoredEnergy() != 0 {
+		t.Errorf("overdischarge delivered %v J (want %v) leaving %v J", got, b.CapacityJ, b.StoredEnergy())
+	}
+}
+
+// TestConstantPowerChargeTime pins the shared closed form both
+// core.BatteryChargeTime and the lifecycle ledger route through.
+func TestConstantPowerChargeTime(t *testing.T) {
+	b := NewLiIonCoinCell()
+
+	// 1 mAh at 3.0 V and 85% acceptance from 100 µW.
+	d := b.ConstantPowerChargeTime(0, 1, 100e-6)
+	want := b.CapacityJ / b.ChargeEff / 100e-6
+	if got := d.Seconds(); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("full charge takes %v s, want %v s", got, want)
+	}
+
+	// Degenerate inputs saturate at the maximum duration.
+	for _, tc := range []struct{ from, to, w float64 }{
+		{0, 1, 0}, {0, 1, -1e-6}, {0.5, 0.5, 1e-6}, {0.8, 0.2, 1e-6},
+	} {
+		if d := b.ConstantPowerChargeTime(tc.from, tc.to, tc.w); d != time.Duration(math.MaxInt64) {
+			t.Errorf("ConstantPowerChargeTime(%v, %v, %v) = %v, want max duration", tc.from, tc.to, tc.w, d)
+		}
+	}
+}
