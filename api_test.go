@@ -1,0 +1,43 @@
+// API-surface regression: the exported surface of the facade package
+// is dumped (internal/apidump) and compared against the committed
+// api/powifi.txt, so any change to the public SDK — a new option, a
+// renamed field, a signature change — fails until the surface file is
+// intentionally regenerated with either
+//
+//	go test -run TestAPISurface -update .
+//	go run ./internal/tools/apidump -write
+//
+// CI runs the same comparison via the apidump command.
+package powifi_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/apidump"
+)
+
+const apiSurfaceFile = "api/powifi.txt"
+
+func TestAPISurface(t *testing.T) {
+	got, err := apidump.Dump(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(apiSurfaceFile, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", apiSurfaceFile)
+		return
+	}
+	want, err := os.ReadFile(apiSurfaceFile)
+	if err != nil {
+		t.Fatalf("missing %s (run `go run ./internal/tools/apidump -write`): %v", apiSurfaceFile, err)
+	}
+	if string(want) != got {
+		t.Errorf("exported API changed without regenerating %s\n"+
+			"run: go run ./internal/tools/apidump -write\n--- committed ---\n%s\n--- current ---\n%s",
+			apiSurfaceFile, want, got)
+	}
+}

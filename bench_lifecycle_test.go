@@ -1,6 +1,7 @@
 package powifi_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -61,11 +62,11 @@ func BenchmarkLifecycleFleet(b *testing.B) {
 // budget's slack).
 func TestLifecycleFleetAllocBudget(t *testing.T) {
 	cfg := lifecycleBenchConfig(1)
-	if _, err := fleet.Run(cfg); err != nil { // warm pools and surfaces
+	if _, err := fleet.Run(context.Background(), cfg); err != nil { // warm pools and surfaces
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(5, func() {
-		if _, err := fleet.Run(cfg); err != nil {
+		if _, err := fleet.Run(context.Background(), cfg); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -92,7 +93,7 @@ func TestEmitLifecycleBenchJSON(t *testing.T) {
 	lr := testing.Benchmark(func(b *testing.B) { runFleetBench(b, cfg) })
 	lifeNsPerHome := float64(lr.NsPerOp()) / float64(cfg.Homes)
 	allocs := testing.AllocsPerRun(5, func() {
-		if _, err := fleet.Run(cfg); err != nil {
+		if _, err := fleet.Run(context.Background(), cfg); err != nil {
 			t.Fatal(err)
 		}
 	})

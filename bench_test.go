@@ -5,6 +5,7 @@
 package powifi_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -219,12 +220,12 @@ func fleetBenchConfig(workers int, exact bool) fleet.Config {
 func runFleetBench(b *testing.B, cfg fleet.Config) {
 	b.Helper()
 	// Build the shared surface (and warm caches) outside the timer.
-	if _, err := fleet.Run(cfg); err != nil {
+	if _, err := fleet.Run(context.Background(), cfg); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := fleet.Run(cfg)
+		res, err := fleet.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

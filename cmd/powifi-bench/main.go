@@ -4,52 +4,62 @@
 // from the quick configuration to the paper-scale one. The -exact flag
 // disables the operating-point surface so every rectifier solve runs the
 // direct Bessel/Newton path (slower; for validating the surface).
+//
+// The command is a thin flag→Scenario shim over the public SDK: each
+// id runs as powifi.NewScenario(powifi.WithExperiment(id), ...), and
+// -scenario file.json runs a declarative scenario of any mode instead
+// (powifi.LoadScenario; combining it with ids or configuration flags
+// is an error).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
-	"repro/internal/experiments"
-	"repro/internal/profiling"
-	"repro/internal/surface"
+	powifi "repro"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// First interrupt cancels the context (honored between
+		// experiments; the runners themselves are not cancellable);
+		// unregistering then restores the default handler so a second
+		// interrupt kills the process outright.
+		<-ctx.Done()
+		stop()
+	}()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run parses args and regenerates the requested experiments; split from
 // main so the CLI surface is testable in-process.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("powifi-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	full := fs.Bool("full", false, "run the paper-scale configuration (slower)")
 	exact := fs.Bool("exact", false, "bypass the operating-point surface; solve every operating point exactly")
+	scenPath := fs.String("scenario", "", "run a declarative scenario JSON file instead of experiment ids")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: powifi-bench [-full] [-exact] <experiment id>... | all\n\nexperiments:\n")
-		for _, id := range experiments.IDs() {
-			fmt.Fprintf(stderr, "  %-7s %s\n", id, experiments.Describe(id))
+		fmt.Fprintf(stderr, "usage: powifi-bench [-full] [-exact] <experiment id>... | all\n"+
+			"       powifi-bench -scenario file.json\n\nexperiments:\n")
+		for _, id := range powifi.Experiments() {
+			fmt.Fprintf(stderr, "  %-7s %s\n", id, powifi.DescribeExperiment(id))
 		}
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() == 0 {
-		fs.Usage()
-		return 2
-	}
-	if *exact {
-		prev := surface.Enabled()
-		surface.SetEnabled(false)
-		defer surface.SetEnabled(prev)
-	}
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+
+	stopProf, err := powifi.StartProfiling(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -59,14 +69,73 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 		}
 	}()
+
+	if *scenPath != "" {
+		// The scenario file is the single source of configuration.
+		if fs.NArg() > 0 {
+			fmt.Fprintf(stderr, "experiment ids %v conflict with -scenario: the scenario file is the single source of configuration\n", fs.Args())
+			return 2
+		}
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scenario", "cpuprofile", "memprofile":
+			default:
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fmt.Fprintf(stderr, "flags %v conflict with -scenario: the scenario file is the single source of configuration\n", conflicts)
+			return 2
+		}
+		data, err := os.ReadFile(*scenPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		sc, err := powifi.LoadScenario(data)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		rep, err := sc.Run(ctx)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := rep.WriteText(stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
 	ids := fs.Args()
 	if fs.NArg() == 1 && ids[0] == "all" {
-		ids = experiments.IDs()
+		ids = powifi.Experiments()
 	}
 	for _, id := range ids {
+		sc, err := powifi.NewScenario(
+			powifi.WithExperiment(id),
+			powifi.WithFull(*full),
+			powifi.WithExact(*exact),
+		)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 		start := time.Now()
-		if !experiments.Run(id, stdout, !*full) {
-			fmt.Fprintf(stderr, "unknown experiment %q\n", id)
+		rep, err := sc.Run(ctx)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := rep.WriteText(stdout); err != nil {
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))

@@ -2,18 +2,27 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/surface"
 )
 
+func runCLI(t *testing.T, args []string) (code int, out, errBuf bytes.Buffer) {
+	t.Helper()
+	code = run(context.Background(), args, &out, &errBuf)
+	return code, out, errBuf
+}
+
 func TestUsageOnNoArgs(t *testing.T) {
-	var out, errBuf bytes.Buffer
-	if code := run(nil, &out, &errBuf); code != 2 {
+	code, _, errBuf := runCLI(t, nil)
+	if code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
-	for _, want := range []string{"usage:", "fig9", "table1", "-exact"} {
+	for _, want := range []string{"usage:", "fig9", "table1", "-exact", "-scenario"} {
 		if !strings.Contains(errBuf.String(), want) {
 			t.Errorf("usage output missing %q", want)
 		}
@@ -21,8 +30,8 @@ func TestUsageOnNoArgs(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	var out, errBuf bytes.Buffer
-	if code := run([]string{"fig99"}, &out, &errBuf); code != 1 {
+	code, _, errBuf := runCLI(t, []string{"fig99"})
+	if code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
 	if !strings.Contains(errBuf.String(), `unknown experiment "fig99"`) {
@@ -31,15 +40,15 @@ func TestUnknownExperiment(t *testing.T) {
 }
 
 func TestUnknownFlag(t *testing.T) {
-	var out, errBuf bytes.Buffer
-	if code := run([]string{"-bogus", "fig9"}, &out, &errBuf); code != 2 {
+	code, _, _ := runCLI(t, []string{"-bogus", "fig9"})
+	if code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
 
 func TestRunsExperiment(t *testing.T) {
-	var out, errBuf bytes.Buffer
-	if code := run([]string{"fig9"}, &out, &errBuf); code != 0 {
+	code, out, errBuf := runCLI(t, []string{"fig9"})
+	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errBuf.String())
 	}
 	for _, want := range []string{"== fig9", "worst in-band", "completed in"} {
@@ -55,8 +64,8 @@ func TestExactFlagDisablesSurfaceDuringRun(t *testing.T) {
 	if !surface.Enabled() {
 		t.Fatal("surface must start enabled")
 	}
-	var out, errBuf bytes.Buffer
-	if code := run([]string{"-exact", "fig13"}, &out, &errBuf); code != 0 {
+	code, out, errBuf := runCLI(t, []string{"-exact", "fig13"})
+	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errBuf.String())
 	}
 	if !surface.Enabled() {
@@ -64,5 +73,31 @@ func TestExactFlagDisablesSurfaceDuringRun(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "== fig13") {
 		t.Errorf("experiment did not run under -exact:\n%s", out.String())
+	}
+}
+
+// TestScenarioFlag pins the declarative path shared with powifi-fleet:
+// an experiment scenario file runs through the same facade, and ids or
+// configuration flags alongside -scenario are a hard error.
+func TestScenarioFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig9.json")
+	if err := os.WriteFile(path, []byte(`{"schema":1,"experiment":"fig9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errBuf := runCLI(t, []string{"-scenario", path})
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "== fig9") {
+		t.Errorf("scenario run missing the fig9 table:\n%s", out.String())
+	}
+
+	code, _, errBuf = runCLI(t, []string{"-scenario", path, "fig13"})
+	if code != 2 || !strings.Contains(errBuf.String(), "conflict with -scenario") {
+		t.Errorf("ids alongside -scenario: exit %d, stderr %q", code, errBuf.String())
+	}
+	code, _, errBuf = runCLI(t, []string{"-scenario", path, "-full"})
+	if code != 2 || !strings.Contains(errBuf.String(), "conflict with -scenario") {
+		t.Errorf("-full alongside -scenario: exit %d, stderr %q", code, errBuf.String())
 	}
 }

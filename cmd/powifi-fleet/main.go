@@ -4,20 +4,27 @@
 // latency tails). Results are bit-for-bit identical at any -workers
 // value; only wall-clock time changes.
 //
+// The command is a thin flag→Scenario shim over the public SDK
+// (powifi.NewScenario / Scenario.Run): every flag maps to one option,
+// and -scenario file.json runs a declarative scenario instead
+// (powifi.LoadScenario; combining it with configuration flags is an
+// error). Interrupting the process cancels the run's context, so the
+// worker pool drains and exits cleanly.
+//
 // The per-bin rectifier solve is served from the error-bounded
-// operating-point surface (internal/surface) by default; -exact bypasses
-// the surface and pays the full Bessel/Newton solve per bin, which is
-// only useful for validating the surface's ε guarantee.
+// operating-point surface by default; -exact bypasses the surface and
+// pays the full Bessel/Newton solve per bin, which is only useful for
+// validating the surface's ε guarantee.
 //
 // A population device mix (-devices) switches on the stateful
-// device-lifecycle engine (internal/lifecycle): each home is assigned
-// one device archetype — temp, rtemp, camera, jawbone, liion or nimh —
-// drawn from the given shares, storage state of charge is threaded
-// across the home's bins, and the report gains per-archetype
-// time-domain sections (time to first update, outage fraction, frames
-// captured, state-of-charge trajectory, time to full charge).
-// -horizon sets the per-home deployment duration for such runs (it
-// overrides -duration; the two are aliases otherwise).
+// device-lifecycle engine: each home is assigned one device archetype —
+// temp, rtemp, camera, jawbone, liion or nimh — drawn from the given
+// shares, storage state of charge is threaded across the home's bins,
+// and the report gains per-archetype time-domain sections (time to
+// first update, outage fraction, frames captured, state-of-charge
+// trajectory, time to full charge). -horizon sets the per-home
+// deployment duration for such runs (it overrides -duration; the two
+// are aliases otherwise).
 //
 // Examples:
 //
@@ -25,29 +32,38 @@
 //	powifi-fleet -homes 5000 -workers 8 -duration 24h -format json
 //	powifi-fleet -homes 20 -exact -format json   # surface bypass
 //	powifi-fleet -devices temp=0.5,camera=0.3,jawbone=0.2 -horizon 72h
+//	powifi-fleet -scenario fleet.json -format csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	powifi "repro"
-	"repro/internal/fleet"
-	"repro/internal/lifecycle"
-	"repro/internal/profiling"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// First interrupt cancels the run's context for a clean drain;
+		// unregistering then restores the default handler so a second
+		// interrupt kills the process outright.
+		<-ctx.Done()
+		stop()
+	}()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run parses args and executes the fleet; split from main so the CLI
-// surface (flag validation, output schemas, -exact parity) is testable
-// in-process.
-func run(args []string, stdout, stderr io.Writer) int {
+// surface (flag validation, output schemas, -scenario conflicts,
+// -exact parity) is testable in-process.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("powifi-fleet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -61,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		devices  = fs.String("devices", "", "device-archetype shares enabling the lifecycle engine, e.g. temp=0.5,camera=0.3,jawbone=0.2")
 		horizon  = fs.Duration("horizon", 0, "deployment horizon per home (overrides -duration when set)")
 		exact    = fs.Bool("exact", false, "bypass the operating-point surface; solve every bin exactly")
+		scenPath = fs.String("scenario", "", "run a declarative scenario JSON file instead of the configuration flags")
 		quiet    = fs.Bool("q", false, "suppress the timing line on stderr")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -80,19 +97,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var mix lifecycle.Mix
-	if *devices != "" {
-		var err error
-		if mix, err = lifecycle.ParseMix(*devices); err != nil {
-			fmt.Fprintln(stderr, err)
+	var sc *powifi.Scenario
+	if *scenPath != "" {
+		// The scenario file is the single source of configuration:
+		// mixing it with configuration flags would silently ignore one
+		// side, so it is an error. Output and tooling flags compose.
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scenario", "format", "q", "cpuprofile", "memprofile":
+			default:
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fmt.Fprintf(stderr, "flags %v conflict with -scenario: the scenario file is the single source of configuration\n", conflicts)
 			return 2
 		}
-	}
-	if *horizon != 0 {
-		*duration = *horizon
+		data, err := os.ReadFile(*scenPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if sc, err = powifi.LoadScenario(data); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else {
+		opts := []powifi.Option{
+			powifi.WithHomes(*homes),
+			powifi.WithSeed(*seed),
+			powifi.WithWorkers(*workers),
+			powifi.WithBinWidth(*bin),
+			powifi.WithWindow(*window),
+			powifi.WithExact(*exact),
+		}
+		if *horizon != 0 {
+			*duration = *horizon
+		}
+		opts = append(opts, powifi.WithHorizon(*duration))
+		if *devices != "" {
+			mix, err := powifi.ParseDeviceMix(*devices)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			opts = append(opts, powifi.WithDevices(mix))
+		}
+		var err error
+		if sc, err = powifi.NewScenario(opts...); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 	}
 
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	stopProf, err := powifi.StartProfiling(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -103,35 +162,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
-	cfg := fleet.Config{
-		Homes:    *homes,
-		Seed:     *seed,
-		Workers:  *workers,
-		Hours:    duration.Hours(),
-		BinWidth: *bin,
-		Window:   *window,
-		Exact:    *exact,
-		// Only the device mix is set here; withDefaults fills the rest
-		// of the population when nothing else was customized.
-		Population: fleet.Population{Devices: mix},
-	}
 	start := time.Now()
-	res, err := powifi.RunFleet(cfg)
+	rep, err := sc.Run(ctx)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	if !*quiet {
-		fmt.Fprintf(stderr, "simulated %d homes with %d workers in %v\n",
-			res.Config.Homes, res.Config.Workers, time.Since(start).Round(time.Millisecond))
+		if rep.Fleet != nil {
+			fmt.Fprintf(stderr, "simulated %d homes in %v\n",
+				rep.Fleet.Homes, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Fprintf(stderr, "completed %s scenario in %v\n",
+				rep.Mode, time.Since(start).Round(time.Millisecond))
+		}
 	}
 	switch *format {
 	case "text":
-		err = res.WriteText(stdout)
+		err = rep.WriteText(stdout)
 	case "json":
-		err = res.WriteJSON(stdout)
+		err = rep.WriteJSON(stdout)
 	case "csv":
-		err = res.WriteCSV(stdout)
+		err = rep.WriteCSV(stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)

@@ -2,14 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
-	"repro/internal/fleet"
+	powifi "repro"
 )
 
 // tinyArgs is a fleet small enough for CLI tests: 3 homes × 4 bins.
@@ -17,6 +20,12 @@ func tinyArgs(extra ...string) []string {
 	base := []string{"-homes", "3", "-seed", "9", "-duration", "2h", "-bin", "30m",
 		"-window", "2ms", "-workers", "2", "-q"}
 	return append(base, extra...)
+}
+
+func runCLI(t *testing.T, args []string) (code int, out, errBuf bytes.Buffer) {
+	t.Helper()
+	code = run(context.Background(), args, &out, &errBuf)
+	return code, out, errBuf
 }
 
 func TestFlagValidation(t *testing.T) {
@@ -37,8 +46,8 @@ func TestFlagValidation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			var out, errBuf bytes.Buffer
-			if code := run(tc.args, &out, &errBuf); code != tc.code {
+			code, _, errBuf := runCLI(t, tc.args)
+			if code != tc.code {
 				t.Fatalf("exit code %d, want %d (stderr: %s)", code, tc.code, errBuf.String())
 			}
 			if !strings.Contains(errBuf.String(), tc.want) {
@@ -49,8 +58,8 @@ func TestFlagValidation(t *testing.T) {
 }
 
 func TestTextOutput(t *testing.T) {
-	var out, errBuf bytes.Buffer
-	if code := run(tinyArgs(), &out, &errBuf); code != 0 {
+	code, out, errBuf := runCLI(t, tinyArgs())
+	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errBuf.String())
 	}
 	for _, want := range []string{"fleet: 3 homes x 2 h (seed 9", "cumulative occupancy per home", "occupancy CDF"} {
@@ -60,43 +69,61 @@ func TestTextOutput(t *testing.T) {
 	}
 }
 
-// TestJSONSchemaRoundTrip pins the JSON schema: the CLI's output must
-// decode into fleet.Summary and survive a decode→encode→decode round
-// trip unchanged (no lossy fields, no unserializable values).
+// TestJSONSchemaRoundTrip pins the JSON schema: the CLI emits the
+// versioned powifi.Report envelope ("schema": 1) whose fleet section
+// must decode into powifi.FleetSummary and survive a
+// decode→encode→decode round trip unchanged (no lossy fields, no
+// unserializable values).
 func TestJSONSchemaRoundTrip(t *testing.T) {
-	var out, errBuf bytes.Buffer
-	if code := run(tinyArgs("-format", "json"), &out, &errBuf); code != 0 {
+	code, out, errBuf := runCLI(t, tinyArgs("-format", "json"))
+	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errBuf.String())
 	}
-	var s fleet.Summary
-	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
-		t.Fatalf("CLI JSON does not decode into fleet.Summary: %v", err)
+	var rep powifi.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("CLI JSON does not decode into powifi.Report: %v", err)
 	}
-	if s.Homes != 3 || s.Seed != 9 || s.TotalBins != 12 {
-		t.Errorf("decoded summary wrong: homes=%d seed=%d bins=%d", s.Homes, s.Seed, s.TotalBins)
+	if rep.Schema != powifi.ReportSchema || rep.Version != powifi.Version || rep.Mode != powifi.ModeFleet {
+		t.Errorf("report envelope wrong: schema=%d version=%q mode=%q", rep.Schema, rep.Version, rep.Mode)
 	}
-	re, err := json.Marshal(s)
+	if rep.Fleet == nil {
+		t.Fatal("report missing the fleet section")
+	}
+	if rep.Fleet.Homes != 3 || rep.Fleet.Seed != 9 || rep.Fleet.TotalBins != 12 {
+		t.Errorf("decoded summary wrong: homes=%d seed=%d bins=%d",
+			rep.Fleet.Homes, rep.Fleet.Seed, rep.Fleet.TotalBins)
+	}
+	re, err := json.Marshal(rep)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var s2 fleet.Summary
-	if err := json.Unmarshal(re, &s2); err != nil {
+	var rep2 powifi.Report
+	if err := json.Unmarshal(re, &rep2); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(s, s2) {
-		t.Errorf("JSON round trip not stable:\nfirst  %+v\nsecond %+v", s, s2)
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Errorf("JSON round trip not stable:\nfirst  %+v\nsecond %+v", rep, rep2)
 	}
 	// Schema keys the dashboards depend on must be present verbatim.
 	var raw map[string]any
 	if err := json.Unmarshal(out.Bytes(), &raw); err != nil {
 		t.Fatal(err)
 	}
+	for _, key := range []string{"schema", "version", "mode", "fleet"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("JSON output missing envelope key %q", key)
+		}
+	}
+	fl, ok := raw["fleet"].(map[string]any)
+	if !ok {
+		t.Fatal("fleet section is not an object")
+	}
 	for _, key := range []string{"homes", "seed", "total_bins", "silent_fraction",
 		"home_occupancy_pct", "channel_occupancy_pct", "home_harvest_uw",
 		"bin_occupancy_pct", "bin_harvest_uw", "update_latency_s",
 		"mean_update_rate_hz", "home_occupancy_cdf", "bin_harvest_cdf", "bin_latency_cdf"} {
-		if _, ok := raw[key]; !ok {
-			t.Errorf("JSON output missing key %q", key)
+		if _, ok := fl[key]; !ok {
+			t.Errorf("fleet JSON missing key %q", key)
 		}
 	}
 }
@@ -104,8 +131,8 @@ func TestJSONSchemaRoundTrip(t *testing.T) {
 // TestCSVSchemaRoundTrip pins the CSV schema: parseable by encoding/csv,
 // fixed header, known sections, and the dist rows numeric.
 func TestCSVSchemaRoundTrip(t *testing.T) {
-	var out, errBuf bytes.Buffer
-	if code := run(tinyArgs("-format", "csv"), &out, &errBuf); code != 0 {
+	code, out, errBuf := runCLI(t, tinyArgs("-format", "csv"))
+	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errBuf.String())
 	}
 	rows, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
@@ -136,13 +163,17 @@ func TestCSVSchemaRoundTrip(t *testing.T) {
 // trip stays lossless with the new section present.
 func TestLifecycleFlags(t *testing.T) {
 	args := tinyArgs("-devices", "temp=0.5,camera=0.3,jawbone=0.2", "-horizon", "3h", "-format", "json")
-	var out, errBuf bytes.Buffer
-	if code := run(args, &out, &errBuf); code != 0 {
+	code, out, errBuf := runCLI(t, args)
+	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errBuf.String())
 	}
-	var s fleet.Summary
-	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+	var rep powifi.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 		t.Fatal(err)
+	}
+	s := rep.Fleet
+	if s == nil {
+		t.Fatal("report missing the fleet section")
 	}
 	if s.Hours != 3 {
 		t.Errorf("-horizon 3h resolved to %v hours (should override -duration 2h)", s.Hours)
@@ -158,15 +189,15 @@ func TestLifecycleFlags(t *testing.T) {
 			t.Errorf("archetype %s reported with zero homes", a.Kind)
 		}
 	}
-	re, err := json.Marshal(s)
+	re, err := json.Marshal(rep)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var s2 fleet.Summary
-	if err := json.Unmarshal(re, &s2); err != nil {
+	var rep2 powifi.Report
+	if err := json.Unmarshal(re, &rep2); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(s, s2) {
+	if !reflect.DeepEqual(rep, rep2) {
 		t.Error("lifecycle JSON round trip not stable")
 	}
 
@@ -175,7 +206,11 @@ func TestLifecycleFlags(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &raw); err != nil {
 		t.Fatal(err)
 	}
-	lc, ok := raw["lifecycle"].(map[string]any)
+	fl, ok := raw["fleet"].(map[string]any)
+	if !ok {
+		t.Fatal("JSON output missing key \"fleet\"")
+	}
+	lc, ok := fl["lifecycle"].(map[string]any)
 	if !ok {
 		t.Fatal("JSON output missing key \"lifecycle\"")
 	}
@@ -194,19 +229,67 @@ func TestLifecycleFlags(t *testing.T) {
 	}
 
 	// Text mode grows the lifecycle section; CSV gains lifecycle rows.
-	out.Reset()
-	if code := run(tinyArgs("-devices", "temp=1"), &out, &errBuf); code != 0 {
+	code, out, errBuf = runCLI(t, tinyArgs("-devices", "temp=1"))
+	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errBuf.String())
 	}
 	if !strings.Contains(out.String(), "device lifecycle (temp=1):") {
 		t.Errorf("text output missing lifecycle section:\n%s", out.String())
 	}
-	out.Reset()
-	if code := run(tinyArgs("-devices", "temp=1", "-format", "csv"), &out, &errBuf); code != 0 {
+	code, out, errBuf = runCLI(t, tinyArgs("-devices", "temp=1", "-format", "csv"))
+	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errBuf.String())
 	}
 	if !strings.Contains(out.String(), "lifecycle/temp/time_to_first_update_s") {
 		t.Error("CSV output missing lifecycle rows")
+	}
+}
+
+// TestScenarioFlag pins the declarative path: a -scenario file must
+// reproduce the equivalent flag run byte for byte in every format, and
+// configuration flags alongside -scenario are a hard error rather than
+// a silent merge.
+func TestScenarioFlag(t *testing.T) {
+	scen := `{"schema":1,"homes":3,"seed":9,"workers":2,"horizon":"2h0m0s","bin":"30m0s","window":"2ms"}`
+	path := filepath.Join(t.TempDir(), "tiny.json")
+	if err := os.WriteFile(path, []byte(scen), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"text", "json", "csv"} {
+		code, fromFlags, errBuf := runCLI(t, tinyArgs("-format", format))
+		if code != 0 {
+			t.Fatalf("flags (%s): exit %d: %s", format, code, errBuf.String())
+		}
+		code, fromFile, errBuf := runCLI(t, []string{"-scenario", path, "-format", format, "-q"})
+		if code != 0 {
+			t.Fatalf("-scenario (%s): exit %d: %s", format, code, errBuf.String())
+		}
+		if !bytes.Equal(fromFlags.Bytes(), fromFile.Bytes()) {
+			t.Errorf("%s output differs between flags and -scenario:\n--- flags ---\n%s--- scenario ---\n%s",
+				format, fromFlags.String(), fromFile.String())
+		}
+	}
+
+	// Conflicting flags: a clear error, exit 2.
+	code, _, errBuf := runCLI(t, []string{"-scenario", path, "-homes", "5", "-q"})
+	if code != 2 {
+		t.Fatalf("-scenario with -homes: exit %d, want 2 (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "conflict with -scenario") {
+		t.Errorf("stderr %q missing the conflict explanation", errBuf.String())
+	}
+
+	// A broken scenario file: loud failure, exit 1.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":1,"bogus":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errBuf = runCLI(t, []string{"-scenario", bad, "-q"})
+	if code != 1 {
+		t.Fatalf("bad scenario: exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "bogus") {
+		t.Errorf("stderr %q does not name the unknown field", errBuf.String())
 	}
 }
 
@@ -215,17 +298,20 @@ func TestLifecycleFlags(t *testing.T) {
 // occupancy and bin accounting and within the surface's ε on the
 // energy-side means.
 func TestExactParity(t *testing.T) {
-	decode := func(args []string) fleet.Summary {
+	decode := func(args []string) *powifi.FleetSummary {
 		t.Helper()
-		var out, errBuf bytes.Buffer
-		if code := run(args, &out, &errBuf); code != 0 {
+		code, out, errBuf := runCLI(t, args)
+		if code != 0 {
 			t.Fatalf("exit %d: %s", code, errBuf.String())
 		}
-		var s fleet.Summary
-		if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		var rep powifi.Report
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 			t.Fatal(err)
 		}
-		return s
+		if rep.Fleet == nil {
+			t.Fatal("report missing the fleet section")
+		}
+		return rep.Fleet
 	}
 	surf := decode(tinyArgs("-format", "json"))
 	exact := decode(tinyArgs("-format", "json", "-exact"))

@@ -4,6 +4,38 @@
 // wireless power from commodity Wi-Fi routers without compromising network
 // performance.
 //
+// # The SDK
+//
+// The public surface is the composable Scenario API: one builder that
+// configures single-home deployments (§6), fleet-scale populations,
+// stateful device-lifecycle studies, and the paper's table/figure
+// experiments through functional options, executed under a
+// context.Context with streaming access and one unified, versioned
+// Report.
+//
+//	sc, err := powifi.NewScenario(
+//		powifi.WithHomes(5000),
+//		powifi.WithSeed(42),
+//		powifi.WithDevices(mix),           // lifecycle engine
+//		powifi.WithProgress(func(done, total int) { ... }),
+//	)
+//	rep, err := sc.Run(ctx)               // *Report, "schema": 1
+//	rep.WriteJSON(os.Stdout)
+//
+// Streaming forms replace the reduced report with Go iterators:
+// Scenario.Bins yields a single-home run's logging bins in order, and
+// Scenario.Homes yields a fleet's per-home records — in home-index
+// order, bit-for-bit identical at any WithWorkers value. Cancelling
+// the context stops any run promptly (fleet workers check once per
+// logging bin, drain, and exit cleanly); partial results are
+// discarded, never silently truncated.
+//
+// Scenarios also have a declarative JSON form: LoadScenario parses it
+// (unknown fields rejected, "schema": 1) and Scenario.MarshalJSON
+// emits it, which is what the CLIs' -scenario file.json flag runs.
+//
+// # Implementation
+//
 // The implementation lives under internal/: an 802.11 DCF simulator
 // (internal/mac, internal/medium, internal/phy), the PoWiFi router with its
 // power-packet injector and IP_Power queue-threshold machinery
@@ -12,36 +44,20 @@
 // harvester with its DC-DC converters and storage elements
 // (internal/harvester), the sensing applications (internal/sensors), the
 // co-design facade (internal/core), the six-home deployment study
-// (internal/deploy), and one runner per paper table/figure
-// (internal/experiments).
-//
-// Beyond the paper's six-home study, internal/fleet scales deployment
-// to synthesized populations of thousands of homes: household
-// parameters are drawn from distributions, each home runs the same
-// single-home runner as the §6 reproduction on its own event kernel,
-// and the per-home logs stream into mergeable aggregates
-// (internal/stats) sharded across workers. Results are bit-for-bit
-// identical at any worker count; see RunFleet and cmd/powifi-fleet.
-//
-// internal/lifecycle adds the time domain: stateful device lifecycles
-// (battery-free and battery-recharging sensors, duty-cycled cameras,
-// pure battery chargers) threaded across the runner's bins through the
-// lifecycle-visiting run mode (deploy.RunVisitor). Fleet populations
-// can mix device archetypes (powifi-fleet -devices
-// temp=0.5,camera=0.3,jawbone=0.2 -horizon 72h), yielding
-// per-archetype time-to-first-update, outage, frame-count,
-// state-of-charge and charge-time distributions at fleet scale.
+// (internal/deploy), the stateful device-lifecycle engine
+// (internal/lifecycle), the fleet-scale sharded runner (internal/fleet),
+// and one runner per paper table/figure (internal/experiments).
 //
 // Entry points:
 //
-//	cmd/powifi-bench    regenerate any table or figure
+//	cmd/powifi-bench    regenerate any table or figure (thin Scenario shim)
+//	cmd/powifi-fleet    fleet-scale deployment study (thin Scenario shim)
 //	cmd/powifi-router   standalone router/occupancy exploration
 //	cmd/powifi-harvest  harvester characterization sweeps
-//	cmd/powifi-fleet    fleet-scale deployment study
-//	examples/           six runnable scenarios
+//	examples/           six runnable scenarios, all on the public SDK
 //
-// See DESIGN.md for the system inventory, the deployment-sampling
-// substitution, and the fleet layer's exact-sharding design.
+// See DESIGN.md for the system inventory, the public API contract and
+// schema-version policy, and the fleet layer's exact-sharding design.
 package powifi
 
 import (
@@ -50,15 +66,24 @@ import (
 	"repro/internal/experiments"
 )
 
-// Version identifies this reproduction build.
-const Version = "1.0.0"
+// Version identifies this reproduction build. 2.0.0 introduced the
+// Scenario SDK and the versioned Report schema.
+const Version = "2.0.0"
 
 // Experiments returns the ids of every reproducible table and figure.
 func Experiments() []string { return experiments.IDs() }
 
+// DescribeExperiment returns the one-line description of an experiment
+// id ("" for unknown ids).
+func DescribeExperiment(id string) string { return experiments.Describe(id) }
+
 // RunExperiment regenerates one table or figure, writing its rows to w.
 // quick selects the reduced configuration; the false (full) configuration
 // reproduces the paper's scale. It returns false for unknown ids.
+//
+// Deprecated: build a Scenario with WithExperiment (and WithFull for
+// the paper-scale configuration) instead; it adds cancellation and the
+// versioned Report envelope. RunExperiment remains as a thin shim.
 func RunExperiment(id string, w io.Writer, quick bool) bool {
 	return experiments.Run(id, w, quick)
 }

@@ -1,87 +1,81 @@
-// Batterycharge: recharge real batteries from Wi-Fi, as in §5 and §8(a).
+// Batterycharge: recharge real batteries from Wi-Fi, as in §5 and §8(a),
+// through the public Scenario SDK.
 //
-// Three scenarios: the NiMH pack behind the battery-recharging
-// temperature sensor, the Li-Ion coin cell behind the recharging camera,
-// and the Jawbone UP24 activity tracker sitting next to the router on the
-// USB charger. Each battery is charged two ways that cannot diverge by
-// construction: the constant-power shortcut (core.BatteryChargeTime, a
-// thin wrapper over the shared ledger primitive) and the stateful
-// device-lifecycle engine (internal/lifecycle), which integrates the
-// same ledger bin by bin with self-discharge and charge-acceptance
-// applied.
+// Three storage elements charge over a real home's day via the
+// stateful device-lifecycle engine (WithDevices on a single-home
+// scenario): the NiMH pack behind the battery-recharging temperature
+// sensor, the Li-Ion coin cell behind the recharging camera, and the
+// Jawbone UP24 activity tracker sitting next to the router on the USB
+// charger. The §8(a) USB-charger experiment (Fig. 16) then reproduces
+// the paper's own headline numbers for the Jawbone.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/deploy"
-	"repro/internal/experiments"
-	"repro/internal/harvester"
-	"repro/internal/lifecycle"
+	powifi "repro"
 )
 
-// chargeFlat drives a lifecycle charger device over a flat-occupancy
-// schedule until its battery fills (or the horizon runs out) and
-// returns its final metrics. cumulative is spread evenly over the
-// three PoWiFi channels, exactly as core.PoWiFiLink does.
-func chargeFlat(dev *lifecycle.Device, distanceFt, cumulative float64, bin time.Duration, horizon time.Duration) lifecycle.Metrics {
-	dev.Begin(distanceFt, bin)
-	per := cumulative / 3
-	s := deploy.BinSample{Occupancy: [3]float64{per, per, per}}
-	for i := 0; i < int(horizon/bin); i++ {
-		s.Bin = i
-		dev.VisitBin(s)
-	}
-	return dev.Metrics()
-}
-
 func main() {
-	const occupancy = 0.913
+	ctx := context.Background()
 
-	// NiMH pack on the recharging temperature sensor at 10 feet.
-	temp := core.NewRechargingTempSensor()
-	link := core.PoWiFiLink(10, occupancy)
-	net := temp.NetHarvestedW(link)
-	fmt.Printf("NiMH 2xAAA pack at 10 ft: net %.1f µW while idle\n", net*1e6)
-	day := core.BatteryChargeTime(temp.Battery, 0.50, 0.51, net)
-	fmt.Printf("  topping up 1%% of the pack takes %.1f days\n", day.Hours()/24)
-	fmt.Printf("  -> at 10 ft the pack sustains %.2f reads/s forever (energy-neutral)\n\n",
-		temp.UpdateRate(link))
+	// A high-occupancy household with the sensors close in: Table 1's
+	// home 1 with the placement at 8 ft, run for 72 hours so the slow
+	// chemistries make visible progress.
+	mix, err := powifi.ParseDeviceMix("rtemp=1,liion=1,nimh=1,jawbone=1")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sc, err := powifi.NewScenario(
+		powifi.WithHome(powifi.PaperHomes()[0]),
+		powifi.WithSensorDistance(8),
+		powifi.WithHorizon(72*time.Hour),
+		powifi.WithBinWidth(time.Hour),
+		powifi.WithWindow(50*time.Millisecond),
+		powifi.WithDevices(mix),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err := sc.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
-	// Li-Ion coin cell on the recharging camera at 15 feet.
-	cam := core.NewRechargingCamera()
-	camLink := core.PoWiFiLink(15, 0.909)
-	camNet := cam.NetHarvestedW(camLink)
-	fmt.Printf("Li-Ion MS412FE coin cell at 15 ft: net %.1f µW\n", camNet*1e6)
-	full := core.BatteryChargeTime(cam.Battery, 0, 1, camNet)
-	fmt.Printf("  charging the 1 mAh cell from empty takes %.1f hours (constant-power shortcut)\n", full.Hours())
-	// The same cell through the stateful engine: the bq25570 charger
-	// chain at 15 ft, integrated per 15-minute bin with self-discharge.
-	li := lifecycle.NewDevice(lifecycle.LiIon, lifecycle.Policy{})
-	m := chargeFlat(li, 15, 0.909, 15*time.Minute, 96*time.Hour)
-	fmt.Printf("  lifecycle ledger: %.0f%% charged after %.0f h of flat occupancy (state %v)\n",
-		m.FinalSoC*100, m.TotalS/3600, li.State())
-	fmt.Printf("  -> one photo every %.1f min, energy-neutral\n\n",
-		cam.InterFrameTime(camLink).Minutes())
+	fmt.Printf("charging from Wi-Fi for %.0f h at %.0f ft (mean occupancy %.1f%%):\n\n",
+		rep.Home.Hours, rep.Home.SensorFt, rep.Home.MeanCumulativePct)
+	for _, d := range rep.Home.Devices {
+		line := fmt.Sprintf("  %-8s", d.Kind)
+		if d.FinalSoCPct != nil {
+			line += fmt.Sprintf(" soc %6.2f%%", *d.FinalSoCPct)
+		}
+		if d.TimeToFullS != nil {
+			line += fmt.Sprintf("  full after %.1f h", *d.TimeToFullS/3600)
+		}
+		if d.Updates > 0 {
+			line += fmt.Sprintf("  (%.0f sensor reads along the way)", d.Updates)
+		}
+		fmt.Println(line)
+	}
 
-	// Jawbone UP24 on the USB charger, 6 cm from the router (§8a).
-	res := experiments.RunFig16(6, 150*time.Minute)
-	fmt.Printf("Jawbone UP24 on the USB charger (6 cm):\n")
-	fmt.Printf("  average charge current %.2f mA (paper: 2.3 mA)\n", res.ChargeCurrentMA)
-	fmt.Printf("  %.0f%% -> %.0f%% charged in %v (paper: 0%% -> 41%% in 2.5 h)\n",
-		res.StartSoC*100, res.EndSoC*100, res.Duration)
-	// The lifecycle Jawbone archetype runs the same §8(a) chain (the
-	// charger keeps its 6 cm USB perch regardless of the distance the
-	// home placed its sensor at).
-	jb := lifecycle.NewDevice(lifecycle.Jawbone, lifecycle.Policy{})
-	jm := chargeFlat(jb, 10, 0.95, time.Minute, 150*time.Minute)
-	fmt.Printf("  lifecycle ledger: %.0f%% charged after the same 2.5 h\n", jm.FinalSoC*100)
-
-	// Show the battery abstraction directly.
-	pack := harvester.NewNiMHPack()
-	pack.SetSoC(0.25)
-	fmt.Printf("\nbattery state: %v (%.0f J stored of %.0f J)\n",
-		pack, pack.StoredEnergy(), pack.CapacityJ)
+	// The paper's own §8(a) demonstration: the Jawbone UP24 on the USB
+	// charger 6 cm from the router (paper: 2.3 mA, 0% -> 41% in 2.5 h).
+	fig16, err := powifi.NewScenario(powifi.WithExperiment("fig16"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err = fig16.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("\nthe paper's USB-charger experiment (Fig. 16):")
+	fmt.Print(rep.Experiment.Output)
 }

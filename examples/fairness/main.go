@@ -6,31 +6,32 @@
 // channel 1 while our router injects power traffic under three policies.
 // PoWiFi's 54 Mbps packets yield the channel quickly, so the neighbor
 // does better than a strict equal-share split; BlindUDP's 1 Mbps packets
-// starve it.
+// starve it. The experiment runs through the public SDK's experiment
+// scenario mode.
 package main
 
 import (
+	"context"
 	"fmt"
-	"time"
+	"os"
 
-	"repro/internal/experiments"
-	"repro/internal/phy"
-	"repro/internal/router"
+	powifi "repro"
 )
 
 func main() {
-	rates := []phy.Rate{
-		phy.Rate6Mbps, phy.Rate12Mbps, phy.Rate24Mbps, phy.Rate36Mbps, phy.Rate54Mbps,
+	sc, err := powifi.NewScenario(powifi.WithExperiment("fig8"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	res := experiments.RunFig8(rates, 2*time.Second, 99)
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
-	fmt.Println("neighbor bit rate -> achieved UDP throughput (Mbps)")
-	fmt.Println("rate     BlindUDP  EqualShare  PoWiFi")
-	for i, rate := range rates {
-		fmt.Printf("%-7v  %8.2f  %10.2f  %6.2f\n", rate,
-			res.AchievedMbps[router.BlindUDP][i],
-			res.AchievedMbps[router.EqualShare][i],
-			res.AchievedMbps[router.PoWiFi][i])
-	}
+	fmt.Println("neighbor throughput under power-packet injection (Fig. 8):")
+	fmt.Println()
+	fmt.Print(rep.Experiment.Output)
 	fmt.Println("\nPoWiFi >= EqualShare at every rate: better-than-equal-share fairness (§4.1d).")
 }

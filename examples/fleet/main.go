@@ -1,48 +1,64 @@
 // Fleet-scale deployment scenario: the paper's six-home study (§6)
-// generalized to a 1000-home population. Households are synthesized
-// from parameter distributions (occupants, devices, neighbor density,
-// diurnal phase, sensor placement), every home runs the same packet-
-// level single-home runner as the paper study, and the results reduce
-// to population statistics: the occupancy CDF generalizing Fig. 14, the
-// harvested-power distribution, and sensor update latency tails
-// generalizing Fig. 15.
+// generalized to a 1000-home population through the public Scenario
+// SDK. Households are synthesized from parameter distributions
+// (occupants, devices, neighbor density, diurnal phase, sensor
+// placement), every home runs the same packet-level single-home runner
+// as the paper study, and the results reduce to population statistics:
+// the occupancy CDF generalizing Fig. 14, the harvested-power
+// distribution, and sensor update latency tails generalizing Fig. 15.
 //
-// The run shards across all CPUs and takes a few minutes of wall clock
-// per thousand homes per core; pass a smaller -homes to sample faster.
+// The run shards across all CPUs (bit-for-bit identical at any worker
+// count), reports progress as homes complete, and cancels cleanly on
+// interrupt; pass a smaller -homes to sample faster.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	powifi "repro"
-	"repro/internal/fleet"
 )
 
 func main() {
 	homes := flag.Int("homes", 1000, "fleet size")
 	flag.Parse()
 
-	cfg := fleet.DefaultConfig()
-	cfg.Homes = *homes
-	cfg.Seed = 7
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	fmt.Printf("simulating %d homes x %.0f h (bin %v, window %v)...\n",
-		cfg.Homes, cfg.Hours, cfg.BinWidth, cfg.Window)
-	start := time.Now()
-	res, err := powifi.RunFleet(cfg)
+	lastPct := -1
+	sc, err := powifi.NewScenario(
+		powifi.WithHomes(*homes),
+		powifi.WithSeed(7),
+		powifi.WithProgress(func(done, total int) {
+			if pct := done * 100 / total; pct/10 > lastPct/10 {
+				lastPct = pct
+				fmt.Fprintf(os.Stderr, "\r%3d%% (%d/%d homes)", pct, done, total)
+			}
+		}),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("done in %v with %d workers\n\n",
-		time.Since(start).Round(time.Second), res.Config.Workers)
 
-	res.WriteText(os.Stdout)
+	fmt.Printf("simulating %d homes (seed 7, 24 h x 1 h bins)...\n", *homes)
+	start := time.Now()
+	rep, err := sc.Run(ctx)
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %v\n\n", time.Since(start).Round(time.Second))
 
-	s := res.Summarize()
+	rep.WriteText(os.Stdout)
+
+	s := rep.Fleet
 	fmt.Printf("\nThe paper's six homes reported 78-127%% mean cumulative occupancy;\n")
 	fmt.Printf("this population spans [%.0f%%, %.0f%%] with p50 %.0f%% across %d homes.\n",
 		s.HomeOccupancyPct.Min, s.HomeOccupancyPct.Max, s.HomeOccupancyPct.P50, s.Homes)

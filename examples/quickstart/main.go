@@ -1,60 +1,55 @@
 // Quickstart: power a battery-free temperature sensor from a simulated
-// PoWiFi router ten feet away.
+// PoWiFi router ten feet away, through the public Scenario SDK.
 //
-// The example runs the full chain the paper demonstrates: the router
-// injects power packets on channels 1/6/11, a monitor measures the
-// occupancy it achieves, and the harvester + sensor models convert the
-// resulting incident RF power into sensor readings per second.
+// The scenario runs the full chain the paper demonstrates — the router
+// injects power packets on channels 1/6/11 under a home's real traffic
+// load, a monitor measures the occupancy it achieves, and the
+// harvester + sensor models convert the resulting incident RF power
+// into sensor readings per second — and reduces it into the unified
+// Report.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/eventsim"
-	"repro/internal/medium"
-	"repro/internal/monitor"
-	"repro/internal/phy"
-	"repro/internal/router"
+	powifi "repro"
 )
 
 func main() {
-	// 1. Build the three 2.4 GHz channels and a PoWiFi router.
-	sched := eventsim.New()
-	channels := make(map[phy.Channel]*medium.Channel, 3)
-	for _, chNum := range phy.PoWiFiChannels {
-		channels[chNum] = medium.NewChannel(chNum, sched)
+	// Home 1 of the paper's Table 1 (2 users, 6 devices, 17 neighboring
+	// APs), replayed for two hours with the sensor at the paper's 10 ft.
+	sc, err := powifi.NewScenario(
+		powifi.WithHome(powifi.PaperHomes()[0]),
+		powifi.WithSensorDistance(10),
+		powifi.WithHorizon(2*time.Hour),
+		powifi.WithBinWidth(15*time.Minute),
+		powifi.WithWindow(400*time.Millisecond),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	rt := router.New(router.DefaultConfig(), sched, channels, 100, 42)
 
-	// 2. Watch the router's occupancy, as the paper does with airmon-ng.
-	monitors := make(map[phy.Channel]*monitor.Monitor, 3)
-	for _, chNum := range phy.PoWiFiChannels {
-		monitors[chNum] = monitor.New(channels[chNum], 500*time.Millisecond,
-			rt.Radio(chNum).MAC.StationID())
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
-	// 3. Run five simulated seconds of power injection.
-	rt.Start()
-	sched.RunUntil(5 * time.Second)
-
-	occupancy := make(map[phy.Channel]float64, 3)
-	cumulative := 0.0
-	for _, chNum := range phy.PoWiFiChannels {
-		occupancy[chNum] = monitors[chNum].MeanOccupancy()
-		cumulative += occupancy[chNum]
-		fmt.Printf("%-5v occupancy: %5.1f%%\n", chNum, occupancy[chNum]*100)
+	h := rep.Home
+	for _, ch := range []string{"ch1", "ch6", "ch11"} {
+		fmt.Printf("%-5s occupancy: %5.1f%%\n", ch, h.ChannelOccupancyPct[ch])
 	}
-	fmt.Printf("cumulative:     %5.1f%%\n\n", cumulative*100)
+	fmt.Printf("cumulative:     %5.1f%%\n\n", h.MeanCumulativePct)
 
-	// 4. Place a battery-free temperature sensor ten feet away.
-	sensor := core.NewBatteryFreeTempSensor()
-	link := core.PowerLink{
-		TxPowerDBm: 30, TxGainDBi: 6, RxGainDBi: 2,
-		DistanceFt: 10, Occupancy: core.OccupancyFromMap(occupancy),
+	fmt.Printf("battery-free temperature sensor at %.0f ft: %.2f reads/s\n",
+		h.SensorFt, h.MeanUpdateRateHz)
+	if h.MeanUpdateRateHz > 0 {
+		fmt.Printf("one reading every %v, harvesting %.1f µW\n",
+			time.Duration(float64(time.Second)/h.MeanUpdateRateHz).Round(time.Millisecond),
+			h.MeanHarvestUW)
 	}
-	rate := sensor.UpdateRate(link)
-	fmt.Printf("battery-free temperature sensor at 10 ft: %.1f reads/s\n", rate)
-	fmt.Printf("one reading every %v\n", sensor.Sensor.TimeBetweenReads(sensor.NetHarvestedW(link)).Round(time.Millisecond))
 }

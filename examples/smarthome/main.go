@@ -1,88 +1,99 @@
-// Smarthome: replay one of the paper's §6 home deployments.
+// Smarthome: replay one of the paper's §6 home deployments through the
+// public Scenario SDK.
 //
 // A PoWiFi router replaces the home's router for a simulated day: the
-// occupants' devices and the neighbours' networks load the channels on a
-// diurnal schedule, and a battery-free temperature sensor sits ten feet
-// away. The example prints the per-channel occupancy at a few times of
-// day and the sensor's update-rate distribution — the Fig. 14/15 story
-// for a single home — and then runs the stateful device-lifecycle
-// engine over the same day: the battery-free sensor's boot/outage
-// timeline, a duty-cycled camera accumulating frames on its coin cell,
-// and the Jawbone tracker charging on the router's USB port.
+// occupants' devices and the neighbours' networks load the channels on
+// a diurnal schedule, and a battery-free temperature sensor sits ten
+// feet away. The example streams the day bin by bin with the Bins
+// iterator (printing the per-channel occupancy every two hours — the
+// Fig. 14/15 story for a single home), then runs the same day again
+// with the stateful device-lifecycle engine attached: the battery-free
+// sensor's boot/outage timeline, a duty-cycled camera accumulating
+// frames on its coin cell, and the Jawbone tracker charging on the
+// router's USB perch.
 package main
 
 import (
+	"context"
 	"fmt"
-	"math"
+	"os"
 	"time"
 
-	"repro/internal/deploy"
-	"repro/internal/lifecycle"
-	"repro/internal/phy"
-	"repro/internal/stats"
+	powifi "repro"
 )
 
 func main() {
-	home := deploy.PaperHomes()[0] // 2 users, 6 devices, 17 neighboring APs
+	ctx := context.Background()
+	home := powifi.PaperHomes()[0] // 2 users, 6 devices, 17 neighboring APs
 	fmt.Printf("deploying in home %d: %d users, %d devices, %d neighboring APs\n\n",
 		home.ID, home.Users, home.Devices, home.NeighborAPs)
 
-	opts := deploy.Options{
-		BinWidth:         15 * time.Minute,
-		Window:           400 * time.Millisecond,
-		Hours:            24,
-		SensorDistanceFt: 10,
+	mix, err := powifi.ParseDeviceMix("temp=1,camera=1,jawbone=1")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	res := deploy.Run(home, opts)
+	sc, err := powifi.NewScenario(
+		powifi.WithHome(home),
+		powifi.WithSensorDistance(10),
+		powifi.WithHorizon(24*time.Hour),
+		powifi.WithBinWidth(15*time.Minute),
+		powifi.WithWindow(400*time.Millisecond),
+		powifi.WithDevices(mix),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
+	// Stream the day: one BinSample per 15-minute bin, printed every
+	// two hours. Breaking out of the loop would stop the simulation.
 	fmt.Println("hour  ch1     ch6     ch11    cumulative  sensor")
-	for i := 0; i < len(res.Cumulative); i += 8 { // every 2 hours
+	for s, err := range sc.Bins(ctx) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if s.Bin%8 != 0 {
+			continue
+		}
 		fmt.Printf("%4.0f  %5.1f%%  %5.1f%%  %5.1f%%  %9.1f%%  %5.2f reads/s\n",
-			res.HourOfDay[i],
-			res.Occupancy[phy.Channel1][i],
-			res.Occupancy[phy.Channel6][i],
-			res.Occupancy[phy.Channel11][i],
-			res.Cumulative[i],
-			res.SensorRates[i])
+			s.HourOfDay, s.Occupancy[0]*100, s.Occupancy[1]*100, s.Occupancy[2]*100,
+			s.CumulativePct, s.SensorRate)
 	}
 
-	cdf := stats.NewCDF(res.SensorRates)
-	fmt.Printf("\nmean cumulative occupancy: %.1f%% (paper range across homes: 78-127%%)\n", res.MeanCumulative())
-	fmt.Printf("sensor update rate at 10 ft: p10 %.2f  median %.2f  p90 %.2f reads/s\n",
-		cdf.Quantile(0.1), cdf.Quantile(0.5), cdf.Quantile(0.9))
-
-	// The same day through the lifecycle engine: one deployment pass
-	// drives the whole household of stateful devices via the visitor
-	// run mode.
-	devs := lifecycle.Group{
-		lifecycle.NewDevice(lifecycle.TempSensor, lifecycle.Policy{}),
-		lifecycle.NewDevice(lifecycle.Camera, lifecycle.Policy{}),
-		lifecycle.NewDevice(lifecycle.Jawbone, lifecycle.Policy{}),
+	// The reduced report: the same day through Run, with the lifecycle
+	// devices riding the bins.
+	rep, err := sc.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	devs.Begin(opts.SensorDistanceFt, opts.BinWidth)
-	deploy.RunVisitor(home, opts, devs)
+	h := rep.Home
+	fmt.Printf("\nmean cumulative occupancy: %.1f%% (paper range across homes: 78-127%%)\n", h.MeanCumulativePct)
+	fmt.Printf("sensor update rate at 10 ft: mean %.2f reads/s (silent bins: %d/%d)\n",
+		h.MeanUpdateRateHz, h.SilentBins, h.Bins)
 
 	fmt.Println("\ndevice lifecycles over the same day:")
-	for _, d := range devs {
-		m := d.Metrics()
-		switch {
-		case d.Kind == lifecycle.TempSensor:
+	for _, d := range h.Devices {
+		switch d.Kind {
+		case "temp":
 			first := "never"
-			if !math.IsInf(m.FirstUpdateS, 1) {
-				first = fmt.Sprintf("%.1f s", m.FirstUpdateS)
+			if d.FirstUpdateS != nil {
+				first = fmt.Sprintf("%.1f s", *d.FirstUpdateS)
 			}
 			fmt.Printf("  temp sensor:  first update %s, %.0f updates, outage %.1f%% of the day\n",
-				first, m.Updates, 100*m.OutageFraction())
-		case d.Kind == lifecycle.Camera:
+				first, d.Updates, d.OutagePct)
+		case "camera":
 			first := "never"
-			if !math.IsInf(m.FirstUpdateS, 1) {
-				first = fmt.Sprintf("after %.0f min", m.FirstUpdateS/60)
+			if d.FirstUpdateS != nil {
+				first = fmt.Sprintf("after %.0f min", *d.FirstUpdateS/60)
 			}
 			fmt.Printf("  camera:       %d frames on the coin cell (first %s), soc ends at %.2f%%\n",
-				m.Frames, first, m.FinalSoC*100)
+				d.Frames, first, *d.FinalSoCPct)
 		default:
 			fmt.Printf("  jawbone UP24: charged to %.0f%% on the USB perch (outage %.1f%%)\n",
-				m.FinalSoC*100, 100*m.OutageFraction())
+				*d.FinalSoCPct, d.OutagePct)
 		}
 	}
 }

@@ -2,44 +2,67 @@
 // behind a wall, five feet from the PoWiFi router, photographing without
 // any battery to replace.
 //
-// The example sweeps the four wall materials of §5.2 and, for the
-// double sheet-rock case, sweeps distance to find where the camera stops
-// working.
+// The example regenerates the §5.2 wall-material sweep through the
+// public SDK's experiment scenario mode, then runs the camera as a
+// stateful lifecycle device over a real home's day (WithDevices on a
+// single-home scenario) to show the frames actually accumulating.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/rf"
+	powifi "repro"
 )
 
 func main() {
-	camera := core.NewBatteryFreeCamera()
-	const occupancy = 0.909 // measured cumulative occupancy in §5.2
+	ctx := context.Background()
 
-	fmt.Println("battery-free camera, 5 ft from the router:")
-	fmt.Println("material      attenuation  inter-frame")
-	walls := []rf.WallMaterial{
-		rf.NoWall, rf.WoodenDoor, rf.GlassDoublePane, rf.HollowWall, rf.DoubleSheetrock,
+	// The Fig. 13 table: inter-frame time behind four wall materials.
+	sc, err := powifi.NewScenario(powifi.WithExperiment("fig13"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	for _, wall := range walls {
-		link := core.PoWiFiLink(5, occupancy)
-		link.Wall = wall
-		ift := camera.InterFrameTime(link)
-		fmt.Printf("%-12s  %8.1f dB  %8.1f min\n", wall, wall.AttenuationDB(), ift.Minutes())
+	rep, err := sc.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	fmt.Print(rep.Experiment.Output)
 
-	fmt.Println("\nrange behind double sheet-rock:")
-	for d := 2.0; d <= 16; d += 2 {
-		link := core.PoWiFiLink(d, occupancy)
-		link.Wall = rf.DoubleSheetrock
-		ift := camera.InterFrameTime(link)
-		if ift > 24*time.Hour {
-			fmt.Printf("%4.0f ft: out of range\n", d)
-			continue
-		}
-		fmt.Printf("%4.0f ft: one frame every %.1f min\n", d, ift.Minutes())
+	// The same camera as a stateful device: a day in Table 1's home 4,
+	// five feet from the router, frames banked as the occupancy allows.
+	mix, err := powifi.ParseDeviceMix("camera=1")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	day, err := powifi.NewScenario(
+		powifi.WithHome(powifi.PaperHomes()[3]),
+		powifi.WithSensorDistance(5),
+		powifi.WithHorizon(24*time.Hour),
+		powifi.WithBinWidth(time.Hour),
+		powifi.WithWindow(50*time.Millisecond),
+		powifi.WithDevices(mix),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err = day.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cam := rep.Home.Devices[0]
+	fmt.Printf("\na day at 5 ft in home %d (%.1f%% mean cumulative occupancy):\n",
+		rep.Home.Home.ID, rep.Home.MeanCumulativePct)
+	fmt.Printf("  %d frames captured on the coin cell, outage %.1f%% of the day\n",
+		cam.Frames, cam.OutagePct)
+	if cam.FinalSoCPct != nil {
+		fmt.Printf("  battery ends the day at %.2f%% state of charge\n", *cam.FinalSoCPct)
 	}
 }

@@ -1,6 +1,10 @@
 package powifi
 
-import "repro/internal/fleet"
+import (
+	"context"
+
+	"repro/internal/fleet"
+)
 
 // FleetConfig parameterizes a fleet-scale deployment run; see
 // fleet.Config for field semantics. It is re-exported, along with
@@ -27,6 +31,11 @@ func DefaultFleetPopulation() FleetPopulation { return fleet.DefaultPopulation()
 // across cfg.Workers workers and reduced to population aggregates
 // (occupancy CDFs, harvested-power distributions, sensor latency
 // tails). Results are bit-for-bit identical at any worker count.
+//
+// Deprecated: build a Scenario (WithHomes, WithPopulation, WithSeed,
+// ...) and call its Run method instead; it adds context cancellation,
+// streaming access and the versioned Report envelope. RunFleet remains
+// as a thin non-cancellable shim over the same engine.
 func RunFleet(cfg FleetConfig) (*FleetResult, error) {
-	return fleet.Run(cfg)
+	return fleet.Run(context.Background(), cfg)
 }

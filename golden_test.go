@@ -21,6 +21,7 @@ package powifi_test
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -175,7 +176,7 @@ func goldenFleetConfig() fleet.Config {
 }
 
 func TestGoldenFleetRun(t *testing.T) {
-	res, err := fleet.Run(goldenFleetConfig())
+	res, err := fleet.Run(context.Background(), goldenFleetConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func goldenLifecycleConfig() fleet.Config {
 }
 
 func TestGoldenFleetLifecycleRun(t *testing.T) {
-	res, err := fleet.Run(goldenLifecycleConfig())
+	res, err := fleet.Run(context.Background(), goldenLifecycleConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,172 @@
+// Package apidump renders the exported API surface of a Go package
+// directory as a stable, sorted text document. The repo commits the
+// dump of the public facade (api/powifi.txt) and CI regenerates and
+// compares it, so any change to the exported API — a new option, a
+// renamed field, a signature change — fails loudly until the golden
+// file is intentionally regenerated.
+//
+// The dump is purely syntactic (go/parser, no type checking): each
+// exported top-level declaration becomes one entry — constants,vars,
+// funcs, type specs, and methods on exported receivers — printed via
+// go/printer with bodies and comments stripped. Struct literals keep
+// only their exported fields, so internal layout changes do not churn
+// the surface file.
+package apidump
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Dump renders the exported API of the single Go package in dir
+// (ignoring _test.go files) as a sorted, newline-separated document.
+func Dump(dir string) (string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	emit := func(node any) error {
+		var buf bytes.Buffer
+		cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 8}
+		if err := cfg.Fprint(&buf, fset, node); err != nil {
+			return err
+		}
+		// One entry per line: collapse multi-line declarations so the
+		// document diffs line-per-surface-item.
+		s := strings.Join(strings.Fields(buf.String()), " ")
+		lines = append(lines, s)
+		return nil
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return "", err
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !exportedFunc(d) {
+					continue
+				}
+				fn := &ast.FuncDecl{Recv: stripFieldComments(d.Recv), Name: d.Name, Type: d.Type}
+				if err := emit(fn); err != nil {
+					return "", err
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						cp := &ast.TypeSpec{Name: sp.Name, TypeParams: sp.TypeParams,
+							Assign: sp.Assign, Type: exportedType(sp.Type)}
+						if err := emit(&ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{cp}}); err != nil {
+							return "", err
+						}
+					case *ast.ValueSpec:
+						for i, id := range sp.Names {
+							if !id.IsExported() {
+								continue
+							}
+							one := &ast.ValueSpec{Names: []*ast.Ident{id}, Type: sp.Type}
+							if sp.Values != nil && i < len(sp.Values) {
+								one.Values = []ast.Expr{sp.Values[i]}
+							}
+							if err := emit(&ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{one}}); err != nil {
+								return "", err
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	if len(lines) == 0 {
+		return "", fmt.Errorf("apidump: no exported declarations under %s", dir)
+	}
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// exportedFunc keeps exported functions and methods whose receiver
+// base type is exported.
+func exportedFunc(d *ast.FuncDecl) bool {
+	if !d.Name.IsExported() {
+		return false
+	}
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	return receiverName(d.Recv.List[0].Type) == "" || ast.IsExported(receiverName(d.Recv.List[0].Type))
+}
+
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.IndexExpr:
+		return receiverName(t.X)
+	case *ast.IndexListExpr:
+		return receiverName(t.X)
+	}
+	return ""
+}
+
+// exportedType rewrites struct types to their exported fields only
+// (embedded fields count as exported when their type name is);
+// everything else passes through unchanged.
+func exportedType(expr ast.Expr) ast.Expr {
+	st, ok := expr.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return expr
+	}
+	out := &ast.FieldList{}
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 { // embedded
+			if ast.IsExported(receiverName(f.Type)) {
+				out.List = append(out.List, &ast.Field{Type: f.Type, Tag: f.Tag})
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			out.List = append(out.List, &ast.Field{Names: names, Type: f.Type, Tag: f.Tag})
+		}
+	}
+	return &ast.StructType{Struct: st.Struct, Fields: out}
+}
+
+// stripFieldComments drops doc comments from a receiver list so the
+// printed form stays one line.
+func stripFieldComments(fl *ast.FieldList) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fl.List {
+		out.List = append(out.List, &ast.Field{Names: f.Names, Type: f.Type})
+	}
+	return out
+}

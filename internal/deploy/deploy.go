@@ -14,27 +14,30 @@ package deploy
 
 import (
 	"fmt"
+	"iter"
 	"math"
 	"time"
 
 	"repro/internal/phy"
 )
 
-// HomeConfig describes one deployment home (Table 1).
+// HomeConfig describes one deployment home (Table 1). The JSON tags
+// are part of the public scenario schema (powifi.LoadScenario).
 type HomeConfig struct {
 	// ID is the home number (1-6).
-	ID int
+	ID int `json:"id,omitempty"`
 	// Users and Devices are the occupants and their Wi-Fi devices.
-	Users, Devices int
+	Users   int `json:"users"`
+	Devices int `json:"devices"`
 	// NeighborAPs counts other 2.4 GHz routers in range.
-	NeighborAPs int
+	NeighborAPs int `json:"neighbor_aps"`
 	// Weekend marks the two homes staged over a weekend.
-	Weekend bool
+	Weekend bool `json:"weekend,omitempty"`
 	// StartHour is the local hour the 24 h log begins at (Fig. 14's
 	// x-axes differ per home).
-	StartHour int
+	StartHour int `json:"start_hour,omitempty"`
 	// Seed drives the home's randomness.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // PaperHomes returns the six homes of Table 1. Homes 1 and 2 were staged
@@ -97,6 +100,11 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// Resolved returns the options with unset fields filled from
+// DefaultOptions — what a run with o actually simulates. The facade
+// uses it to echo resolved timings into its report.
+func (o Options) Resolved() Options { return o.withDefaults() }
 
 // NumBins returns the number of whole logging bins the deployment
 // spans — the single source of truth for every layer that needs it.
@@ -191,6 +199,21 @@ type BinSample struct {
 	NetHarvestedW float64
 }
 
+// BankedHarvestUW returns the harvested power this bin banks, in µW —
+// the single place the silent-bin clamp convention lives: a bin whose
+// sensor could not boot banks nothing, and the below-sensitivity
+// negative case is clamped to zero so harvest distributions stay
+// consistent with silent-bin statistics for marginal placements. Both
+// the fleet aggregates and the facade's single-home report fold
+// through it.
+func (s BinSample) BankedHarvestUW() float64 {
+	uw := s.NetHarvestedW * 1e6
+	if uw < 0 || s.SensorRate <= 0 {
+		return 0
+	}
+	return uw
+}
+
 // Run simulates one home deployment and materializes the full per-bin
 // log. It is a thin accumulator over the streaming runner. Options are
 // normalized exactly once on this path (runStream assumes normalized
@@ -204,13 +227,14 @@ func Run(cfg HomeConfig, opts Options) *Result {
 		Occupancy:  make(map[phy.Channel][]float64, 3),
 		Cumulative: make([]float64, 0, nBins),
 	}
-	NewSampler().runStream(cfg, opts, func(s BinSample) {
+	NewSampler().runStream(cfg, opts, func(s BinSample) bool {
 		for i, chNum := range phy.PoWiFiChannels {
 			res.Occupancy[chNum] = append(res.Occupancy[chNum], s.Occupancy[i]*100)
 		}
 		res.Cumulative = append(res.Cumulative, s.CumulativePct)
 		res.HourOfDay = append(res.HourOfDay, s.HourOfDay)
 		res.SensorRates = append(res.SensorRates, s.SensorRate)
+		return true
 	})
 	return res
 }
@@ -248,4 +272,14 @@ type BinVisitor interface {
 // RunVisitor method instead.
 func RunVisitor(cfg HomeConfig, opts Options, v BinVisitor) {
 	NewSampler().RunVisitor(cfg, opts, v)
+}
+
+// Bins returns a single-use iterator over one home deployment's
+// logging bins, in order — the iterator form of RunStream, introduced
+// for the public SDK's streaming access (powifi.Scenario.Bins).
+// Breaking out of the loop stops the simulation mid-home; nothing
+// further is simulated. Each call builds a fresh sampling context;
+// hot-loop callers should hold a Sampler and use its Bins method.
+func Bins(cfg HomeConfig, opts Options) iter.Seq[BinSample] {
+	return NewSampler().Bins(cfg, opts)
 }

@@ -2,6 +2,7 @@ package deploy
 
 import (
 	"fmt"
+	"iter"
 	"math"
 	"time"
 
@@ -124,20 +125,40 @@ func (smp *Sampler) armClient() {
 // RunStream for the contract; this form reuses the Sampler's pooled
 // state and is what the fleet runner calls once per worker.
 func (smp *Sampler) RunStream(cfg HomeConfig, opts Options, visit func(BinSample)) {
-	smp.runStream(cfg, opts.withDefaults(), visit)
+	smp.runStream(cfg, opts.withDefaults(), func(s BinSample) bool { visit(s); return true })
 }
 
 // RunVisitor is RunStream delivering bins through a BinVisitor instead
 // of a callback — the run mode the device-lifecycle engine drives. The
 // streams are identical: both paths fold through the same runStream.
 func (smp *Sampler) RunVisitor(cfg HomeConfig, opts Options, v BinVisitor) {
-	smp.runStream(cfg, opts.withDefaults(), v.VisitBin)
+	smp.runStream(cfg, opts.withDefaults(), func(s BinSample) bool { v.VisitBin(s); return true })
+}
+
+// StreamBins is RunStream with an early-stop contract: visit returns
+// false to abandon the run mid-home, and no further bins are simulated
+// or delivered. It exists for cancellation (the fleet workers check
+// their context once per bin) and for the facade's iterators, where
+// the consumer may break out of the loop. Stopping never corrupts the
+// pooled context — the next run Resets everything as usual.
+func (smp *Sampler) StreamBins(cfg HomeConfig, opts Options, visit func(BinSample) bool) {
+	smp.runStream(cfg, opts.withDefaults(), visit)
+}
+
+// Bins returns a single-use iterator over the home's logging bins on
+// the pooled context. Breaking out of the loop stops the simulation
+// mid-home; the Sampler remains reusable.
+func (smp *Sampler) Bins(cfg HomeConfig, opts Options) iter.Seq[BinSample] {
+	return func(yield func(BinSample) bool) {
+		smp.StreamBins(cfg, opts, yield)
+	}
 }
 
 // runStream is RunStream after option normalization (callers must pass
 // a withDefaults-normalized opts, so Run and RunStream normalize
-// exactly once).
-func (smp *Sampler) runStream(cfg HomeConfig, opts Options, visit func(BinSample)) {
+// exactly once). visit returning false stops the run before the next
+// bin is simulated.
+func (smp *Sampler) runStream(cfg HomeConfig, opts Options, visit func(BinSample) bool) {
 	nBins := opts.NumBins()
 	rng := smp.homeRng
 	rng.ReseedFromLabel(cfg.Seed, "home")
@@ -207,14 +228,16 @@ func (smp *Sampler) runStream(cfg HomeConfig, opts Options, visit func(BinSample
 
 		link := core.PoWiFiLinkOccupancy(opts.SensorDistanceFt, occ)
 		rate, netW := smp.sensor.Evaluate(link)
-		visit(BinSample{
+		if !visit(BinSample{
 			Bin:           bin,
 			HourOfDay:     hour,
 			Occupancy:     occ,
 			CumulativePct: cum,
 			SensorRate:    rate,
 			NetHarvestedW: netW,
-		})
+		}) {
+			return
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -27,11 +28,11 @@ func testConfig(homes, workers int) Config {
 // the same seed yields bit-for-bit identical serialized output whether
 // the homes run on one worker or eight.
 func TestDeterministicAcrossWorkerCounts(t *testing.T) {
-	serial, err := Run(testConfig(12, 1))
+	serial, err := Run(context.Background(), testConfig(12, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Run(testConfig(12, 8))
+	parallel, err := Run(context.Background(), testConfig(12, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,12 +76,12 @@ func TestDeterministicAcrossWorkerCountsExactPath(t *testing.T) {
 	}
 	cfg := testConfig(4, 1)
 	cfg.Exact = true
-	serial, err := Run(cfg)
+	serial, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 8
-	parallel, err := Run(cfg)
+	parallel, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,12 +101,12 @@ func TestExactVsSurfaceParity(t *testing.T) {
 		t.Skip("slow: exact rectifier solves per bin")
 	}
 	cfg := testConfig(6, 2)
-	surf, err := Run(cfg)
+	surf, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Exact = true
-	exact, err := Run(cfg)
+	exact, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestSingleHomeFleetMatchesDeployRunner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestSynthesizeHomeDeterministicAndInRange(t *testing.T) {
 
 func TestFleetAggregatesSane(t *testing.T) {
 	cfg := testConfig(8, 0) // default workers
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestSilentBinsBankNothing(t *testing.T) {
 	cfg.Population = DefaultPopulation()
 	cfg.Population.MinSensorFt = 28
 	cfg.Population.MaxSensorFt = 30
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestConfigValidation(t *testing.T) {
 			MaxNeighborAPs: 1, MinSensorFt: 1, MaxSensorFt: 2}},
 	}
 	for i, cfg := range bad {
-		if _, err := Run(cfg); err == nil {
+		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Errorf("config %d (%+v) should be rejected", i, cfg)
 		}
 	}
@@ -329,7 +330,7 @@ func TestSnappedDurationRoundTripsToSameBinCount(t *testing.T) {
 	cfg := testConfig(2, 2)
 	cfg.Hours = 1.2
 	cfg.BinWidth = 65 * time.Minute
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

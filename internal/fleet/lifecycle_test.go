@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -29,11 +30,11 @@ func lifeTestConfig(homes, workers int) Config {
 // population serializes identically whether its homes (and their
 // pooled lifecycle devices) run on one worker or eight.
 func TestLifecycleDeterministicAcrossWorkerCounts(t *testing.T) {
-	serial, err := Run(lifeTestConfig(12, 1))
+	serial, err := Run(context.Background(), lifeTestConfig(12, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Run(lifeTestConfig(12, 8))
+	parallel, err := Run(context.Background(), lifeTestConfig(12, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,11 +77,11 @@ func TestLifecycleDeterministicAcrossWorkerCounts(t *testing.T) {
 // classic aggregate (occupancy, harvest, latency, silent bins)
 // bit-identical to the same fleet without one.
 func TestLifecycleDoesNotPerturbClassicAggregates(t *testing.T) {
-	classic, err := Run(testConfig(8, 3))
+	classic, err := Run(context.Background(), testConfig(8, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	life, err := Run(lifeTestConfig(8, 3))
+	life, err := Run(context.Background(), lifeTestConfig(8, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestLifecycleDoesNotPerturbClassicAggregates(t *testing.T) {
 // ranges.
 func TestLifecycleAggregatesSane(t *testing.T) {
 	cfg := lifeTestConfig(10, 0)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,8 @@ const (
 // These flow through the reorder buffer and are folded into the fleet
 // aggregates in home-index order.
 type homeStats struct {
+	idx           int
+	home          Home
 	meanCumPct    float64
 	meanChPct     [3]float64
 	meanHarvestUW float64
@@ -301,15 +303,26 @@ func (r *Result) Summarize() Summary {
 }
 
 // WriteJSON writes the summary as indented JSON.
-func (r *Result) WriteJSON(w io.Writer) error {
+func (r *Result) WriteJSON(w io.Writer) error { return r.Summarize().WriteJSON(w) }
+
+// WriteCSV writes the summary as metric rows plus CDF curve rows.
+func (r *Result) WriteCSV(w io.Writer) error { return r.Summarize().WriteCSV(w) }
+
+// WriteText writes a human-readable summary.
+func (r *Result) WriteText(w io.Writer) error { return r.Summarize().WriteText(w) }
+
+// WriteJSON writes the summary as indented JSON. The writers live on
+// Summary (not only Result) so the facade's unified Report — which
+// carries the serialized Summary, never the live aggregates — renders
+// through the exact same code path as the internal tools.
+func (s Summary) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Summarize())
+	return enc.Encode(s)
 }
 
 // WriteCSV writes the summary as metric rows plus CDF curve rows.
-func (r *Result) WriteCSV(w io.Writer) error {
-	s := r.Summarize()
+func (s Summary) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	row := func(fields ...string) { cw.Write(fields) }
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -375,8 +388,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 }
 
 // WriteText writes a human-readable summary.
-func (r *Result) WriteText(w io.Writer) error {
-	s := r.Summarize()
+func (s Summary) WriteText(w io.Writer) error {
 	var werr error
 	p := func(format string, args ...any) {
 		if werr == nil {

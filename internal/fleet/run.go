@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/deploy"
@@ -12,6 +14,27 @@ import (
 // Sampler fully re-derives its state from (seed, labels) on every bin,
 // so reuse across runs is as output-invisible as reuse across homes.
 var samplerPool = sync.Pool{New: func() any { return deploy.NewSampler() }}
+
+// ErrStopped is returned by RunWith when the Home hook ends the run
+// early by returning false. It marks a caller-requested stop — the
+// streaming consumer broke out of its loop — as opposed to a context
+// cancellation, which surfaces as ctx.Err().
+var ErrStopped = errors.New("fleet: run stopped by home hook")
+
+// Hooks carries the optional streaming callbacks of RunWith. Both
+// hooks observe homes in home-index order regardless of worker count,
+// so a streaming consumer sees the exact same sequence at any
+// parallelism. Hooks are invoked on the reducing goroutine (the one
+// that called RunWith), never concurrently.
+type Hooks struct {
+	// Progress, if non-nil, is called once per completed home with the
+	// number folded so far and the total: (1, n), (2, n), ... (n, n).
+	Progress func(done, total int)
+	// Home, if non-nil, receives each home's summary record in
+	// home-index order. Returning false stops the run: workers drain
+	// and exit, and RunWith returns ErrStopped with a nil Result.
+	Home func(HomeRecord) bool
+}
 
 // worker is one shard's pooled per-worker state: the sampling context,
 // the synthesis RNG, the pooled partial aggregates, and — in lifecycle
@@ -57,6 +80,12 @@ func (w *worker) device(k lifecycle.Kind) *lifecycle.Device {
 // discrete-event kernel (the kernel itself is deliberately single-
 // threaded; the fleet layer is where the parallelism lives).
 //
+// Cancelling ctx stops the run promptly: every worker checks its
+// context once per logging bin (never more than one bin's worth of
+// work after the cancel), drains, and exits; Run then returns ctx.Err()
+// with a nil Result. Partial results are discarded, never silently
+// truncated — a Result always describes the full configured fleet.
+//
 // The output is bit-for-bit identical for any worker count: pooled
 // per-bin aggregates merge exactly in any order, and per-home scalar
 // summaries pass through a reorder buffer so the order-sensitive
@@ -65,12 +94,35 @@ func (w *worker) device(k lifecycle.Kind) *lifecycle.Device {
 // same discipline: per-bin lifecycle observations land in exactly
 // mergeable sketches, per-home time-domain scalars ride the reorder
 // buffer.
-func Run(cfg Config) (*Result, error) {
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	return RunWith(ctx, cfg, Hooks{})
+}
+
+// RunWith is Run with streaming hooks: per-home records and progress
+// callbacks delivered in home-index order at any worker count. See
+// Hooks for the contract.
+func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := newResult(cfg)
+
+	// deliver folds one home into the result and feeds the hooks; it
+	// reports whether the run should continue.
+	deliver := func(hs homeStats) (bool, error) {
+		res.addHome(hs)
+		if h.Home != nil && !h.Home(hs.record()) {
+			return false, ErrStopped
+		}
+		if h.Progress != nil {
+			h.Progress(hs.idx+1, cfg.Homes)
+		}
+		return true, nil
+	}
 
 	// Serial fast path: with one worker there is no sharding to
 	// coordinate, and the channel/goroutine handoffs per home are pure
@@ -85,10 +137,16 @@ func Run(cfg Config) (*Result, error) {
 			p.arch = newArchPartials()
 		}
 		w := newWorker(cfg, p)
+		defer w.release()
 		for i := 0; i < cfg.Homes; i++ {
-			res.addHome(w.runHome(i))
+			hs, ok := w.runHome(ctx, i)
+			if !ok {
+				return nil, ctx.Err()
+			}
+			if cont, err := deliver(hs); !cont {
+				return nil, err
+			}
 		}
-		w.release()
 		res.SilentBins += p.silentBins
 		res.TotalBins += p.totalBins
 		if p.arch != nil {
@@ -99,12 +157,13 @@ func Run(cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	type msg struct {
-		idx int
-		hs  homeStats
-	}
+	// The sharded path runs under a derived context so a Home hook
+	// stop can wind the workers down the same way a cancellation does.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	jobs := make(chan int)
-	out := make(chan msg, cfg.Workers)
+	out := make(chan homeStats, cfg.Workers)
 	partials := make([]*partial, cfg.Workers)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Workers; i++ {
@@ -118,17 +177,29 @@ func Run(cfg Config) (*Result, error) {
 			// per bin, so the steady-state hot path stops paying allocator
 			// and GC tax. Pooling is output-invisible (see deploy.Sampler).
 			w := newWorker(cfg, p)
+			defer w.release()
 			for idx := range jobs {
-				out <- msg{idx, w.runHome(idx)}
+				hs, ok := w.runHome(ctx, idx)
+				if !ok {
+					return // cancelled mid-home; partial home discarded
+				}
+				select {
+				case out <- hs:
+				case <-ctx.Done():
+					return
+				}
 			}
-			w.release()
 		}()
 	}
 	go func() {
+		defer close(jobs)
 		for i := 0; i < cfg.Homes; i++ {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
 		}
-		close(jobs)
 	}()
 	go func() {
 		wg.Wait()
@@ -140,17 +211,31 @@ func Run(cfg Config) (*Result, error) {
 	// the worker count because homes have comparable cost.
 	pending := make(map[int]homeStats, cfg.Workers)
 	next := 0
+	var stopErr error
 	for m := range out {
-		pending[m.idx] = m.hs
+		if stopErr != nil || ctx.Err() != nil {
+			continue // draining after a hook stop or cancellation
+		}
+		pending[m.idx] = m
 		for {
 			hs, ok := pending[next]
 			if !ok {
 				break
 			}
 			delete(pending, next)
-			res.addHome(hs)
 			next++
+			if cont, err := deliver(hs); !cont {
+				stopErr = err
+				cancel() // wind the workers down; keep draining out
+				break
+			}
 		}
+	}
+	if stopErr != nil {
+		return nil, stopErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Pooled per-bin aggregates merge exactly regardless of how homes
 	// were grouped onto workers; worker order is fixed only for clarity.
@@ -163,8 +248,11 @@ func Run(cfg Config) (*Result, error) {
 // runHome simulates one synthesized home on the worker's pooled
 // sampler, streaming its bins into the worker's pooled partial (and,
 // in lifecycle mode, through the home's pooled lifecycle device) and
-// returning the home's scalar summary.
-func (w *worker) runHome(idx int) homeStats {
+// returning the home's scalar summary. The context is checked once per
+// logging bin; on cancellation the home is abandoned mid-stream and
+// runHome reports ok == false (its partial fold is discarded along
+// with the whole run).
+func (w *worker) runHome(ctx context.Context, idx int) (hs homeStats, ok bool) {
 	cfg := w.cfg
 	h := synthesizeHome(w.synthRng, cfg, idx)
 	var dev *lifecycle.Device
@@ -183,22 +271,22 @@ func (w *worker) runHome(idx int) homeStats {
 		nBins                       int
 		sumCum, sumHarvest, sumRate float64
 		sumCh                       [3]float64
+		cancelled                   bool
 	)
 	p := w.p
-	w.smp.RunStream(h.HomeConfig, opts, func(s deploy.BinSample) {
+	w.smp.StreamBins(h.HomeConfig, opts, func(s deploy.BinSample) bool {
+		if ctx.Err() != nil {
+			cancelled = true
+			return false
+		}
 		nBins++
 		sumCum += s.CumulativePct
 		for i := range sumCh {
 			sumCh[i] += s.Occupancy[i] * 100
 		}
-		// A silent bin banks nothing (Evaluate reports 0 when the chain
-		// cannot boot); clamp the below-sensitivity negative case so the
-		// harvest distribution stays consistent with the silent-bin
-		// statistics for marginal placements.
-		uw := s.NetHarvestedW * 1e6
-		if uw < 0 || s.SensorRate <= 0 {
-			uw = 0
-		}
+		// A silent bin banks nothing; BankedHarvestUW owns the clamp
+		// convention shared with the facade's single-home report.
+		uw := s.BankedHarvestUW()
 		sumHarvest += uw
 		sumRate += s.SensorRate
 
@@ -213,12 +301,18 @@ func (w *worker) runHome(idx int) homeStats {
 		if dev != nil {
 			dev.VisitBin(s)
 		}
+		return true
 	})
+	if cancelled {
+		return homeStats{}, false
+	}
 	if nBins == 0 {
-		return homeStats{}
+		return homeStats{idx: idx, home: h}, true
 	}
 	n := float64(nBins)
-	hs := homeStats{
+	hs = homeStats{
+		idx:           idx,
+		home:          h,
 		meanCumPct:    sumCum / n,
 		meanHarvestUW: sumHarvest / n,
 		meanRate:      sumRate / n,
@@ -240,5 +334,5 @@ func (w *worker) runHome(idx int) homeStats {
 			minSoC:      m.MinSoC,
 		}
 	}
-	return hs
+	return hs, true
 }

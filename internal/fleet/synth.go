@@ -11,7 +11,7 @@ import (
 type Home struct {
 	deploy.HomeConfig
 	// SensorFt is the battery-free sensor's distance from the router.
-	SensorFt float64
+	SensorFt float64 `json:"sensor_ft"`
 }
 
 // SynthesizeHome deterministically draws home i of the fleet. The draw

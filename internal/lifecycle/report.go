@@ -1,0 +1,65 @@
+package lifecycle
+
+import "math"
+
+// Section is the serializable per-device lifecycle report: the JSON
+// form of one device's Metrics, used by the facade's single-home
+// report (powifi.HomeReport.Devices) and stable under the public
+// report schema. Quantities that can be absent — a first update that
+// never happened, a battery-free sensor's state of charge — are nil
+// pointers rather than the engine's ±Inf/NaN sentinels, so a Section
+// always marshals.
+type Section struct {
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	// Bins and TotalS count the logging bins visited and the simulated
+	// seconds they span.
+	Bins   int     `json:"bins"`
+	TotalS float64 `json:"total_s"`
+	// OutagePct is the time-weighted percentage of the run the device
+	// was not operating.
+	OutagePct float64 `json:"outage_pct"`
+	// Updates counts sensor reads (fractional); Frames whole captures.
+	Updates float64 `json:"updates"`
+	Frames  int     `json:"frames"`
+	// FirstUpdateS is the time of the first update or frame; nil when
+	// the device never produced one within the horizon.
+	FirstUpdateS *float64 `json:"first_update_s,omitempty"`
+	// TimeToFullS is when a charger first reached the policy's FullSoC;
+	// nil when it never filled (and for non-chargers).
+	TimeToFullS *float64 `json:"time_to_full_s,omitempty"`
+	// FinalSoCPct and MinSoCPct track the battery's state-of-charge
+	// trajectory endpoints in percent; nil for the battery-free sensor.
+	FinalSoCPct *float64 `json:"final_soc_pct,omitempty"`
+	MinSoCPct   *float64 `json:"min_soc_pct,omitempty"`
+}
+
+// FinitePtr returns &v when v is finite, nil otherwise — the JSON-safe
+// encoding of the engine's ±Inf/NaN "never happened" sentinels, shared
+// with the fleet layer's streamed DeviceRecord so the two serialized
+// forms cannot diverge on the convention.
+func FinitePtr(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// Section derives the device's serializable report section from the
+// metrics accumulated since Begin.
+func (d *Device) Section() Section {
+	m := d.Metrics()
+	return Section{
+		Kind:         m.Kind.String(),
+		State:        d.State().String(),
+		Bins:         m.Bins,
+		TotalS:       m.TotalS,
+		OutagePct:    m.OutageFraction() * 100,
+		Updates:      m.Updates,
+		Frames:       m.Frames,
+		FirstUpdateS: FinitePtr(m.FirstUpdateS),
+		TimeToFullS:  FinitePtr(m.TimeToFullS),
+		FinalSoCPct:  FinitePtr(m.FinalSoC * 100),
+		MinSoCPct:    FinitePtr(m.MinSoC * 100),
+	}
+}

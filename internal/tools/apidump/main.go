@@ -1,0 +1,53 @@
+// Command apidump regenerates or checks the committed public-API
+// surface file (api/powifi.txt) for the repo's facade package.
+//
+//	go run ./internal/tools/apidump -write   # regenerate after an intentional API change
+//	go run ./internal/tools/apidump -check   # CI: fail when the surface drifted
+//
+// Run from the repository root (the default -dir and -out are relative
+// to it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apidump"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to dump")
+	out := flag.String("out", "api/powifi.txt", "surface file to write or check against")
+	write := flag.Bool("write", false, "rewrite the surface file")
+	check := flag.Bool("check", false, "compare against the surface file; exit 1 on drift")
+	flag.Parse()
+
+	got, err := apidump.Dump(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch {
+	case *write:
+		if err := os.WriteFile(*out, []byte(got), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	case *check:
+		want, err := os.ReadFile(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "missing %s (regenerate with -write): %v\n", *out, err)
+			os.Exit(1)
+		}
+		if string(want) != got {
+			fmt.Fprintf(os.Stderr, "exported API changed without regenerating %s\n"+
+				"run: go run ./internal/tools/apidump -write\n", *out)
+			os.Exit(1)
+		}
+		fmt.Printf("%s is up to date\n", *out)
+	default:
+		fmt.Print(got)
+	}
+}

@@ -1,0 +1,547 @@
+package powifi
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/lifecycle"
+	"repro/internal/phy"
+	"repro/internal/surface"
+)
+
+// Run modes a Scenario resolves to. The mode is never set directly:
+// it is derived from which options the scenario carries (WithExperiment
+// selects ModeExperiment, WithHome selects ModeHome, everything else is
+// a fleet run) and echoed in Report.Mode and the scenario JSON.
+const (
+	ModeFleet      = "fleet"
+	ModeHome       = "home"
+	ModeExperiment = "experiment"
+)
+
+// Scenario is the composable description of one simulation run — the
+// SDK's single entry point for single-home deployments (§6), fleet-
+// scale populations, device-lifecycle studies, and the paper's table/
+// figure experiments. Build one with NewScenario and functional
+// options, or load a declarative JSON form with LoadScenario; execute
+// it with Run, or stream results with Bins (single-home) and Homes
+// (fleet). A Scenario is immutable after NewScenario and safe for
+// concurrent use by multiple goroutines (each Run builds its own
+// simulation state), with two caveats: the WithProgress callback, if
+// any, must itself be safe for the concurrency the caller creates, and
+// experiment scenarios with WithExact toggle the process-wide
+// operating-point surface for the duration of their Run — they
+// serialize among themselves, but a concurrent non-exact run in the
+// same process would take the exact solver path during that window
+// (identical boot decisions, results within the surface's certified ε,
+// just slower).
+type Scenario struct {
+	set        optSet
+	homes      int
+	seed       uint64
+	workers    int
+	horizon    time.Duration
+	binWidth   time.Duration
+	window     time.Duration
+	exact      bool
+	population FleetPopulation
+	devices    DeviceMix
+	home       HomeConfig
+	sensorFt   float64
+	experiment string
+	full       bool
+	progress   func(done, total int)
+}
+
+// optSet tracks which options a scenario carries, so zero values the
+// caller explicitly asked for (seed 0, exact false) are distinguished
+// from defaults, and so the JSON form round-trips exactly.
+type optSet uint32
+
+const (
+	optHomes optSet = 1 << iota
+	optSeed
+	optWorkers
+	optHorizon
+	optBinWidth
+	optWindow
+	optExact
+	optPopulation
+	optDevices
+	optHome
+	optSensor
+	optExperiment
+	optFull
+	optProgress
+)
+
+// Option configures a Scenario under construction.
+type Option func(*Scenario) error
+
+// NewScenario builds an immutable scenario from the given options,
+// validating that they describe exactly one run mode. Numeric
+// validation (home counts, durations, population bounds) happens at
+// Run, where it is shared with the underlying engines.
+func NewScenario(opts ...Option) (*Scenario, error) {
+	s := &Scenario{}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, errors.New("powifi: nil Option")
+		}
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WithHomes sets the number of synthesized households of a fleet run
+// (default 1000).
+func WithHomes(n int) Option {
+	return func(s *Scenario) error { s.homes, s.set = n, s.set|optHomes; return nil }
+}
+
+// WithSeed sets the seed all randomness derives from. Fleet runs
+// default to seed 1; single-home runs default to the configured home's
+// own Seed field.
+func WithSeed(seed uint64) Option {
+	return func(s *Scenario) error { s.seed, s.set = seed, s.set|optSeed; return nil }
+}
+
+// WithWorkers sets the fleet's simulation parallelism (0, the default,
+// means GOMAXPROCS). Worker count never affects results, only
+// wall-clock time: fleet output is bit-for-bit identical at any value.
+func WithWorkers(n int) Option {
+	return func(s *Scenario) error { s.workers, s.set = n, s.set|optWorkers; return nil }
+}
+
+// WithHorizon sets the simulated deployment duration (default 24 h).
+// It is snapped down to a whole number of logging bins.
+func WithHorizon(d time.Duration) Option {
+	return func(s *Scenario) error { s.horizon, s.set = d, s.set|optHorizon; return nil }
+}
+
+// WithBinWidth sets the occupancy logging resolution (default 1 h for
+// fleet runs, 60 s for single-home runs, matching the paper).
+func WithBinWidth(d time.Duration) Option {
+	return func(s *Scenario) error { s.binWidth, s.set = d, s.set|optBinWidth; return nil }
+}
+
+// WithWindow sets the packet-level sample window simulated per logging
+// bin (default 10 ms for fleet runs, 1 s for single-home runs).
+func WithWindow(d time.Duration) Option {
+	return func(s *Scenario) error { s.window, s.set = d, s.set|optWindow; return nil }
+}
+
+// WithExact bypasses the error-bounded operating-point surface and
+// solves every rectifier operating point directly (slower; for
+// validating the surface's ε guarantee).
+func WithExact(exact bool) Option {
+	return func(s *Scenario) error { s.exact, s.set = exact, s.set|optExact; return nil }
+}
+
+// WithPopulation sets the household distributions a fleet's homes are
+// drawn from (default DefaultFleetPopulation).
+func WithPopulation(p FleetPopulation) Option {
+	return func(s *Scenario) error { s.population, s.set = p, s.set|optPopulation; return nil }
+}
+
+// WithDevices enables the stateful device-lifecycle engine. In a fleet
+// scenario the mix's shares are the population weights each home's
+// archetype is drawn from; in a single-home scenario every archetype
+// with a positive share contributes one device to the household and
+// the shares' magnitudes are ignored. Overrides the Devices field of a
+// WithPopulation population.
+func WithDevices(m DeviceMix) Option {
+	return func(s *Scenario) error {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		if !m.Enabled() {
+			return errors.New("powifi: WithDevices requires at least one positive share")
+		}
+		s.devices, s.set = m, s.set|optDevices
+		return nil
+	}
+}
+
+// WithHome selects single-home mode: the §6 deployment runner over one
+// household. Combine with WithSensorDistance, WithHorizon, WithBinWidth,
+// WithWindow, WithDevices and WithExact; fleet options (WithHomes,
+// WithPopulation, WithWorkers) conflict with it.
+func WithHome(h HomeConfig) Option {
+	return func(s *Scenario) error { s.home, s.set = h, s.set|optHome; return nil }
+}
+
+// WithSensorDistance places the single-home run's battery-free sensor
+// (default 10 ft, the paper's placement). Requires WithHome; a fleet's
+// placements come from its population distribution instead.
+func WithSensorDistance(ft float64) Option {
+	return func(s *Scenario) error {
+		if ft <= 0 {
+			return fmt.Errorf("powifi: sensor distance %v ft, need > 0", ft)
+		}
+		s.sensorFt, s.set = ft, s.set|optSensor
+		return nil
+	}
+}
+
+// WithExperiment selects experiment mode: regenerate one of the
+// paper's tables or figures (see Experiments for the ids). Only
+// WithFull and WithExact compose with it.
+func WithExperiment(id string) Option {
+	return func(s *Scenario) error {
+		if id == "" {
+			return errors.New("powifi: empty experiment id")
+		}
+		s.experiment, s.set = id, s.set|optExperiment
+		return nil
+	}
+}
+
+// WithFull switches an experiment scenario from the quick reduced
+// configuration (the default) to the paper-scale one.
+func WithFull(full bool) Option {
+	return func(s *Scenario) error { s.full, s.set = full, s.set|optFull; return nil }
+}
+
+// WithProgress registers a callback invoked once per completed unit of
+// work — homes for fleet runs, logging bins for single-home runs —
+// with the number done so far and the total. Fleet progress arrives in
+// home-index order at any worker count, always from the goroutine that
+// called Run (or is consuming Homes). Progress is execution state, not
+// configuration: it is excluded from the scenario's JSON form.
+func WithProgress(fn func(done, total int)) Option {
+	return func(s *Scenario) error {
+		if fn == nil {
+			return errors.New("powifi: nil progress callback")
+		}
+		s.progress, s.set = fn, s.set|optProgress
+		return nil
+	}
+}
+
+// validate checks that the applied options describe exactly one mode.
+func (s *Scenario) validate() error {
+	switch {
+	case s.set&optExperiment != 0:
+		if bad := s.set &^ (optExperiment | optFull | optExact); bad != 0 {
+			return fmt.Errorf("powifi: experiment scenario %q accepts only WithFull and WithExact", s.experiment)
+		}
+	case s.set&optHome != 0:
+		if bad := s.set & (optHomes | optPopulation | optWorkers); bad != 0 {
+			return errors.New("powifi: WithHome (single-home mode) conflicts with WithHomes/WithPopulation/WithWorkers")
+		}
+		if s.set&optFull != 0 {
+			return errors.New("powifi: WithFull applies only to experiment scenarios")
+		}
+	default:
+		if s.set&optSensor != 0 {
+			return errors.New("powifi: WithSensorDistance requires WithHome; fleet placements come from the population")
+		}
+		if s.set&optFull != 0 {
+			return errors.New("powifi: WithFull applies only to experiment scenarios")
+		}
+	}
+	return nil
+}
+
+// Mode returns the run mode the scenario resolves to: ModeFleet,
+// ModeHome or ModeExperiment.
+func (s *Scenario) Mode() string {
+	switch {
+	case s.set&optExperiment != 0:
+		return ModeExperiment
+	case s.set&optHome != 0:
+		return ModeHome
+	default:
+		return ModeFleet
+	}
+}
+
+// Run executes the scenario to completion and reduces it into the
+// unified Report. Cancelling ctx stops fleet and single-home
+// simulations promptly — workers check their context once per logging
+// bin, drain and exit cleanly — and Run returns ctx.Err() with a nil
+// Report; partial results are discarded, never silently truncated.
+// Experiment runners predate the context plumbing and check
+// cancellation only between runs, so an in-flight experiment completes
+// before the cancellation is honored.
+func (s *Scenario) Run(ctx context.Context) (*Report, error) {
+	switch s.Mode() {
+	case ModeExperiment:
+		return s.runExperiment(ctx)
+	case ModeHome:
+		return s.runHome(ctx)
+	default:
+		return s.runFleet(ctx)
+	}
+}
+
+// fleetConfig assembles the underlying fleet configuration, leaving
+// unset options to the engine's defaults.
+func (s *Scenario) fleetConfig() fleet.Config {
+	cfg := fleet.DefaultConfig()
+	if s.set&optHomes != 0 {
+		cfg.Homes = s.homes
+	}
+	if s.set&optSeed != 0 {
+		cfg.Seed = s.seed
+	}
+	if s.set&optWorkers != 0 {
+		cfg.Workers = s.workers
+	}
+	if s.set&optHorizon != 0 {
+		cfg.Hours = s.horizon.Hours()
+	}
+	if s.set&optBinWidth != 0 {
+		cfg.BinWidth = s.binWidth
+	}
+	if s.set&optWindow != 0 {
+		cfg.Window = s.window
+	}
+	if s.set&optPopulation != 0 {
+		cfg.Population = s.population
+	}
+	if s.set&optDevices != 0 {
+		cfg.Population.Devices = s.devices
+	}
+	cfg.Exact = s.exact
+	return cfg
+}
+
+func (s *Scenario) runFleet(ctx context.Context) (*Report, error) {
+	res, err := fleet.RunWith(ctx, s.fleetConfig(), fleet.Hooks{Progress: s.progress})
+	if err != nil {
+		return nil, err
+	}
+	sum := res.Summarize()
+	return newReport(ModeFleet, &Report{Fleet: &sum}), nil
+}
+
+// homeRun assembles the single-home configuration and options, leaving
+// unset fields to the deployment runner's defaults (24 h, 60 s bins,
+// 1 s windows, 10 ft).
+func (s *Scenario) homeRun() (HomeConfig, deploy.Options) {
+	home := s.home
+	if s.set&optSeed != 0 {
+		home.Seed = s.seed
+	}
+	opts := deploy.Options{Exact: s.exact}
+	if s.set&optHorizon != 0 {
+		opts.Hours = s.horizon.Hours()
+	}
+	if s.set&optBinWidth != 0 {
+		opts.BinWidth = s.binWidth
+	}
+	if s.set&optWindow != 0 {
+		opts.Window = s.window
+	}
+	if s.set&optSensor != 0 {
+		opts.SensorDistanceFt = s.sensorFt
+	}
+	return home, opts
+}
+
+// homeDevices builds the household's lifecycle devices: one per
+// archetype with a positive share, in canonical order.
+func (s *Scenario) homeDevices() lifecycle.Group {
+	if s.set&optDevices == 0 {
+		return nil
+	}
+	var g lifecycle.Group
+	for _, k := range lifecycle.Kinds() {
+		if s.devices[k] > 0 {
+			d := lifecycle.NewDevice(k, lifecycle.Policy{})
+			d.Exact = s.exact
+			g = append(g, d)
+		}
+	}
+	return g
+}
+
+func (s *Scenario) runHome(ctx context.Context) (*Report, error) {
+	home, opts := s.homeRun()
+	// ropts is a resolved view for validation and the report echo; the
+	// unresolved opts go to StreamBins, which normalizes exactly once
+	// (the deploy invariant).
+	ropts := opts.Resolved()
+	nBins := ropts.NumBins()
+	if nBins < 1 {
+		return nil, fmt.Errorf("powifi: horizon %.3gh is shorter than one %v bin", ropts.Hours, ropts.BinWidth)
+	}
+	devs := s.homeDevices()
+	if devs != nil {
+		devs.Begin(ropts.SensorDistanceFt, ropts.BinWidth)
+	}
+
+	hr := &HomeReport{
+		Home:                home,
+		SensorFt:            ropts.SensorDistanceFt,
+		Hours:               float64(nBins) * ropts.BinWidth.Hours(),
+		BinWidthS:           ropts.BinWidth.Seconds(),
+		WindowS:             ropts.Window.Seconds(),
+		Exact:               ropts.Exact,
+		ChannelOccupancyPct: make(map[string]float64, 3),
+	}
+	var (
+		sumCum, sumHarvest, sumRate float64
+		sumCh                       [3]float64
+		cancelled                   bool
+	)
+	deploy.NewSampler().StreamBins(home, opts, func(b deploy.BinSample) bool {
+		if ctx.Err() != nil {
+			cancelled = true
+			return false
+		}
+		hr.Bins++
+		sumCum += b.CumulativePct
+		for i := range sumCh {
+			sumCh[i] += b.Occupancy[i] * 100
+		}
+		// The silent-bin clamp convention is shared with the fleet
+		// aggregates through BankedHarvestUW.
+		sumHarvest += b.BankedHarvestUW()
+		sumRate += b.SensorRate
+		if b.SensorRate <= 0 {
+			hr.SilentBins++
+		}
+		if devs != nil {
+			devs.VisitBin(b)
+		}
+		if s.progress != nil {
+			s.progress(hr.Bins, nBins)
+		}
+		return true
+	})
+	if cancelled {
+		return nil, ctx.Err()
+	}
+	if n := float64(hr.Bins); n > 0 {
+		hr.MeanCumulativePct = sumCum / n
+		hr.MeanHarvestUW = sumHarvest / n
+		hr.MeanUpdateRateHz = sumRate / n
+		for i, ch := range phy.PoWiFiChannels {
+			hr.ChannelOccupancyPct[ch.String()] = sumCh[i] / n
+		}
+	}
+	for _, d := range devs {
+		hr.Devices = append(hr.Devices, d.Section())
+	}
+	return newReport(ModeHome, &Report{Home: hr}), nil
+}
+
+// exactExperimentMu serializes experiment runs that bypass the
+// operating-point surface: the bypass is a process-wide switch (the
+// experiment runners predate per-run Exact plumbing), so concurrent
+// save/disable/restore sequences would corrupt each other and could
+// leave the surface disabled for the whole process.
+var exactExperimentMu sync.Mutex
+
+func (s *Scenario) runExperiment(ctx context.Context) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.exact {
+		// The experiment runners consult the process-wide surface
+		// switch; serialize exact runs and restore whatever happens.
+		// Concurrent non-exact runs during this window would also see
+		// the surface off — see the Scenario doc's concurrency caveat.
+		exactExperimentMu.Lock()
+		defer exactExperimentMu.Unlock()
+		prev := surface.Enabled()
+		surface.SetEnabled(false)
+		defer surface.SetEnabled(prev)
+	}
+	var buf bytes.Buffer
+	if !experiments.Run(s.experiment, &buf, !s.full) {
+		return nil, fmt.Errorf("powifi: unknown experiment %q", s.experiment)
+	}
+	return newReport(ModeExperiment, &Report{Experiment: &ExperimentReport{
+		ID:     s.experiment,
+		Full:   s.full,
+		Output: buf.String(),
+	}}), nil
+}
+
+// Bins streams a single-home scenario's logging bins in order — the
+// iterator form of Run for consumers that want the per-bin trace
+// instead of the reduced report. Breaking out of the loop stops the
+// simulation mid-home; the WithProgress callback, if any, fires per
+// bin exactly as under Run. On cancellation the iterator yields
+// ctx.Err() once (with a zero BinSample) and stops. Calling Bins on a
+// fleet or experiment scenario — or with a horizon Run would reject —
+// yields a single error.
+func (s *Scenario) Bins(ctx context.Context) iter.Seq2[BinSample, error] {
+	return func(yield func(BinSample, error) bool) {
+		if s.Mode() != ModeHome {
+			yield(BinSample{}, fmt.Errorf("powifi: Bins requires a single-home scenario (mode %q; use WithHome)", s.Mode()))
+			return
+		}
+		home, opts := s.homeRun()
+		ropts := opts.Resolved()
+		nBins := ropts.NumBins()
+		if nBins < 1 {
+			// Same misconfiguration Run rejects: a silent empty stream
+			// would read as "no data" rather than "bad horizon".
+			yield(BinSample{}, fmt.Errorf("powifi: horizon %.3gh is shorter than one %v bin", ropts.Hours, ropts.BinWidth))
+			return
+		}
+		done := 0
+		deploy.NewSampler().StreamBins(home, opts, func(b deploy.BinSample) bool {
+			if err := ctx.Err(); err != nil {
+				yield(BinSample{}, err)
+				return false
+			}
+			if !yield(b, nil) {
+				return false
+			}
+			done++
+			if s.progress != nil {
+				s.progress(done, nBins)
+			}
+			return true
+		})
+	}
+}
+
+// Homes streams a fleet scenario's per-home records in home-index
+// order — identical records in identical order at any WithWorkers
+// value. Breaking out of the loop stops the run: workers drain and
+// exit cleanly, and nothing further is simulated. On cancellation the
+// iterator yields ctx.Err() once (with a zero HomeRecord) and stops.
+// Calling Homes on a single-home or experiment scenario yields a
+// single error.
+func (s *Scenario) Homes(ctx context.Context) iter.Seq2[HomeRecord, error] {
+	return func(yield func(HomeRecord, error) bool) {
+		if s.Mode() != ModeFleet {
+			yield(HomeRecord{}, fmt.Errorf("powifi: Homes requires a fleet scenario (mode %q)", s.Mode()))
+			return
+		}
+		stopped := false
+		_, err := fleet.RunWith(ctx, s.fleetConfig(), fleet.Hooks{
+			Progress: s.progress,
+			Home: func(r fleet.HomeRecord) bool {
+				if !yield(r, nil) {
+					stopped = true
+					return false
+				}
+				return true
+			},
+		})
+		if err != nil && !stopped && !errors.Is(err, fleet.ErrStopped) {
+			yield(HomeRecord{}, err)
+		}
+	}
+}
