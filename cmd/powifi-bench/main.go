@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -48,6 +50,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	scenPath := fs.String("scenario", "", "run a declarative scenario JSON file instead of experiment ids")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	metrAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/vars on this address (fleet scenarios only)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: powifi-bench [-full] [-exact] <experiment id>... | all\n"+
 			"       powifi-bench -scenario file.json\n\nexperiments:\n")
@@ -79,7 +82,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "cpuprofile", "memprofile":
+			case "scenario", "cpuprofile", "memprofile", "metrics-addr":
 			default:
 				conflicts = append(conflicts, "-"+f.Name)
 			}
@@ -98,6 +101,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
+		if *metrAddr != "" {
+			// Telemetry is fleet-only; a debug listener on an experiment
+			// or home scenario would serve an empty collector forever, so
+			// reject it up front.
+			if sc.Mode() != powifi.ModeFleet {
+				fmt.Fprintf(stderr, "-metrics-addr requires a fleet scenario (got mode %q)\n", sc.Mode())
+				return 2
+			}
+			tel := powifi.NewTelemetry()
+			if sc, err = sc.With(powifi.WithTelemetry(tel)); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			ln, err := net.Listen("tcp", *metrAddr)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			srv := &http.Server{Handler: powifi.MetricsHandler(tel)}
+			go func() { _ = srv.Serve(ln) }()
+			defer srv.Close()
+			fmt.Fprintf(stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+		}
 		rep, err := sc.Run(ctx)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
@@ -110,6 +136,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *metrAddr != "" {
+		fmt.Fprintln(stderr, "-metrics-addr requires -scenario with a fleet scenario")
+		return 2
+	}
 	if fs.NArg() == 0 {
 		fs.Usage()
 		return 2

@@ -101,3 +101,65 @@ func TestScenarioFlag(t *testing.T) {
 		t.Errorf("-full alongside -scenario: exit %d, stderr %q", code, errBuf.String())
 	}
 }
+
+// TestMetricsAddrFlag pins -metrics-addr: it requires a fleet scenario
+// (telemetry is fleet-only), rejects experiment-id runs, and announces
+// the bound address when it applies.
+func TestMetricsAddrFlag(t *testing.T) {
+	code, _, errBuf := runCLI(t, []string{"-metrics-addr", "127.0.0.1:0", "fig9"})
+	if code != 2 {
+		t.Fatalf("ids with -metrics-addr: exit %d, want 2 (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "requires -scenario") {
+		t.Errorf("stderr: %s", errBuf.String())
+	}
+
+	fleet := `{"schema":1,"homes":3,"seed":9,"workers":2,"horizon":"2h0m0s","bin":"30m0s","window":"2ms"}`
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, []byte(fleet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errBuf := runCLI(t, []string{"-scenario", path, "-metrics-addr", "127.0.0.1:0"})
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "serving metrics on http://127.0.0.1:") {
+		t.Errorf("stderr does not announce the metrics address: %s", errBuf.String())
+	}
+	if !strings.Contains(out.String(), "fleet: 3 homes") {
+		t.Errorf("scenario output wrong:\n%s", out.String())
+	}
+
+	exp := `{"schema":1,"experiment":"fig9"}`
+	epath := filepath.Join(t.TempDir(), "exp.json")
+	if err := os.WriteFile(epath, []byte(exp), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errBuf = runCLI(t, []string{"-scenario", epath, "-metrics-addr", "127.0.0.1:0"})
+	if code != 2 {
+		t.Fatalf("experiment scenario with -metrics-addr: exit %d, want 2 (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "requires a fleet scenario") {
+		t.Errorf("stderr: %s", errBuf.String())
+	}
+}
+
+// TestProfileFlags pins the -cpuprofile/-memprofile wiring on the bench
+// CLI: profiles are written even for experiment-id runs.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.prof"), filepath.Join(dir, "mem.prof")
+	code, _, errBuf := runCLI(t, []string{"-cpuprofile", cpu, "-memprofile", mem, "fig9"})
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}

@@ -26,6 +26,14 @@
 // deployment duration for such runs (it overrides -duration; the two
 // are aliases otherwise).
 //
+// Observability is strictly out of band: -telemetry collects run
+// metrics (counters, histograms, phase spans, run manifest) without
+// changing a byte of output, -metrics-out FILE writes them in
+// Prometheus text format, -metrics-addr HOST:PORT serves live /metrics
+// and /debug/vars during the run, and -progress draws a live stderr
+// ticker on interactive terminals (silently skipped when stderr is
+// redirected). All four compose with -scenario.
+//
 // Examples:
 //
 //	powifi-fleet -homes 1000 -seed 42
@@ -40,6 +48,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -81,6 +91,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		quiet    = fs.Bool("q", false, "suppress the timing line on stderr")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		telem    = fs.Bool("telemetry", false, "collect run telemetry; json reports gain a \"telemetry\" section")
+		metrOut  = fs.String("metrics-out", "", "write run metrics to this file in Prometheus text format (implies -telemetry)")
+		metrAddr = fs.String("metrics-addr", "", "serve live /metrics and /debug/vars on this address (implies -telemetry)")
+		progress = fs.Bool("progress", false, "show a live progress line on stderr (interactive terminals only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,7 +119,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "format", "q", "cpuprofile", "memprofile":
+			case "scenario", "format", "q", "cpuprofile", "memprofile",
+				"telemetry", "metrics-out", "metrics-addr", "progress":
 			default:
 				conflicts = append(conflicts, "-"+f.Name)
 			}
@@ -151,6 +166,41 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Telemetry and progress are execution state, not configuration, so
+	// they attach uniformly — to flag-built and -scenario scenarios
+	// alike — via Scenario.With.
+	var extra []powifi.Option
+	var tel *powifi.Telemetry
+	if *telem || *metrOut != "" || *metrAddr != "" {
+		tel = powifi.NewTelemetry()
+		extra = append(extra, powifi.WithTelemetry(tel))
+	}
+	var prog *progressTicker
+	if *progress && isTerminal(stderr) {
+		prog = newProgressTicker(stderr, time.Now)
+		extra = append(extra, powifi.WithProgress(prog.update))
+	}
+	if len(extra) > 0 {
+		var err error
+		if sc, err = sc.With(extra...); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if *metrAddr != "" {
+		ln, err := net.Listen("tcp", *metrAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		srv := &http.Server{Handler: powifi.MetricsHandler(tel)}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		if !*quiet {
+			fmt.Fprintf(stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+		}
+	}
+
 	stopProf, err := powifi.StartProfiling(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -164,6 +214,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	start := time.Now()
 	rep, err := sc.Run(ctx)
+	prog.finish()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -177,6 +228,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				rep.Mode, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	endWrite := func() {}
+	if tel != nil {
+		endWrite = tel.Span("report_write")
+	}
 	switch *format {
 	case "text":
 		err = rep.WriteText(stdout)
@@ -185,9 +240,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case "csv":
 		err = rep.WriteCSV(stdout)
 	}
+	endWrite()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	// The Prometheus file is written after the report so its span list
+	// includes report_write; the Report's embedded snapshot is taken
+	// earlier, at the end of the run, and does not carry that span.
+	if *metrOut != "" {
+		if err := writeMetricsFile(*metrOut, tel); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeMetricsFile dumps the collector's Prometheus text export to path.
+func writeMetricsFile(path string, tel *powifi.Telemetry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tel.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// progressTicker renders a single-line stderr progress indicator for a
+// fleet run: homes done, throughput, and an ETA extrapolated from the
+// rate so far. Updates are throttled so thousands of per-home callbacks
+// cost a handful of terminal writes, and the line is erased on finish
+// so the timing summary and any report text land on a clean row.
+//
+// The ticker only writes; it never reads terminal state. Callers gate
+// construction on isTerminal so redirected stderr stays byte-clean.
+type progressTicker struct {
+	w     io.Writer
+	now   func() time.Time // injectable clock for tests
+	start time.Time
+	last  time.Time // last repaint
+	wrote bool      // a line is on screen and needs erasing
+}
+
+// progressInterval throttles repaints: fast enough to read as live,
+// slow enough that terminal writes never show up in a profile.
+const progressInterval = 150 * time.Millisecond
+
+func newProgressTicker(w io.Writer, now func() time.Time) *progressTicker {
+	return &progressTicker{w: w, now: now, start: now()}
+}
+
+// update is the powifi.WithProgress callback. The fleet reducer invokes
+// it serially, so no locking is needed.
+func (p *progressTicker) update(done, total int) {
+	t := p.now()
+	if done < total && p.wrote && t.Sub(p.last) < progressInterval {
+		return
+	}
+	p.last = t
+	elapsed := t.Sub(p.start).Seconds()
+	var rate float64
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	eta := "--"
+	if rate > 0 && done < total {
+		d := time.Duration(float64(total-done)/rate) * time.Second
+		eta = d.String()
+	}
+	// \r returns to column 0, ESC[K erases the previous (possibly
+	// longer) line's tail.
+	fmt.Fprintf(p.w, "\r%d/%d homes  %.0f homes/s  ETA %s\x1b[K", done, total, rate, eta)
+	p.wrote = true
+}
+
+// finish erases the progress line so subsequent output starts clean.
+// Safe on a nil ticker and when nothing was ever drawn.
+func (p *progressTicker) finish() {
+	if p == nil || !p.wrote {
+		return
+	}
+	fmt.Fprint(p.w, "\r\x1b[K")
+	p.wrote = false
+}
+
+// isTerminal reports whether w is an interactive terminal. Progress is
+// cosmetic: when stderr is a pipe or file (tests, CI, cron) the ticker
+// is skipped entirely rather than spraying control sequences into logs.
+func isTerminal(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	info, err := f.Stat()
+	return err == nil && info.Mode()&os.ModeCharDevice != 0
+}

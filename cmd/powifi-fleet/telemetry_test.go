@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	powifi "repro"
+)
+
+// TestTelemetryFlag pins the -telemetry surface: the JSON report gains
+// a "telemetry" section with work counters and a run manifest, and the
+// simulation sections stay byte-identical to a run without the flag.
+func TestTelemetryFlag(t *testing.T) {
+	code, plain, errBuf := runCLI(t, tinyArgs("-format", "json"))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	code, out, errBuf := runCLI(t, tinyArgs("-format", "json", "-telemetry"))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var rep powifi.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Telemetry == nil {
+		t.Fatal("-telemetry produced no telemetry section")
+	}
+	if rep.Telemetry.Counters["homes"] != 3 {
+		t.Errorf("telemetry counters: %v", rep.Telemetry.Counters)
+	}
+	if rep.Telemetry.Manifest.Seed != 9 || rep.Telemetry.Manifest.GoVersion == "" {
+		t.Errorf("telemetry manifest: %+v", rep.Telemetry.Manifest)
+	}
+
+	// Out of band: dropping the additive section restores the plain
+	// report byte for byte.
+	rep.Telemetry = nil
+	re, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(re)) != strings.TrimSpace(plain.String()) {
+		t.Errorf("-telemetry changed the simulation sections:\n--- plain ---\n%s\n--- stripped ---\n%s",
+			plain.String(), re)
+	}
+}
+
+// TestMetricsOutFile pins -metrics-out: a Prometheus text file with the
+// run's counters and, because it is written after the report, the
+// report_write span.
+func TestMetricsOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	code, _, errBuf := runCLI(t, tinyArgs("-metrics-out", path))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"powifi_homes_total 3",
+		"powifi_run_info{seed=\"9\"",
+		"powifi_span_wall_seconds{phase=\"simulate\"}",
+		"powifi_span_wall_seconds{phase=\"report_write\"}",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics file missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestMetricsAddrServes pins -metrics-addr: the listener binds before
+// the run and its address is announced on stderr.
+func TestMetricsAddrServes(t *testing.T) {
+	args := []string{"-homes", "3", "-seed", "9", "-duration", "2h", "-bin", "30m",
+		"-window", "2ms", "-workers", "2", "-metrics-addr", "127.0.0.1:0"}
+	code, _, errBuf := runCLI(t, args)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "serving metrics on http://127.0.0.1:") {
+		t.Errorf("stderr does not announce the metrics address: %s", errBuf.String())
+	}
+	code, _, errBuf = runCLI(t, tinyArgs("-metrics-addr", "256.0.0.1:bad"))
+	if code != 1 {
+		t.Fatalf("bad address: exit %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+}
+
+// TestTelemetryComposesWithScenario: telemetry and progress are tooling
+// flags, exempt from the -scenario conflict check.
+func TestTelemetryComposesWithScenario(t *testing.T) {
+	scen := `{"schema":1,"homes":3,"seed":9,"workers":2,"horizon":"2h0m0s","bin":"30m0s","window":"2ms"}`
+	path := filepath.Join(t.TempDir(), "tiny.json")
+	if err := os.WriteFile(path, []byte(scen), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errBuf := runCLI(t, []string{"-scenario", path, "-format", "json", "-q", "-telemetry", "-progress"})
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var rep powifi.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Telemetry == nil {
+		t.Error("-scenario with -telemetry produced no telemetry section")
+	}
+}
+
+// TestProgressSilentWhenNotTTY: with stderr redirected (a bytes.Buffer
+// here, a file or pipe in real use) -progress must write no control
+// sequences at all.
+func TestProgressSilentWhenNotTTY(t *testing.T) {
+	code, _, errBuf := runCLI(t, tinyArgs("-progress"))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if strings.ContainsAny(errBuf.String(), "\r\x1b") {
+		t.Errorf("progress control sequences leaked to non-TTY stderr: %q", errBuf.String())
+	}
+}
+
+// TestProgressTicker unit-tests the renderer with an injected clock:
+// first update draws, updates inside the throttle window are dropped,
+// the final update always draws, and finish erases the line.
+func TestProgressTicker(t *testing.T) {
+	var buf strings.Builder
+	clock := time.Unix(0, 0)
+	p := newProgressTicker(&buf, func() time.Time { return clock })
+
+	clock = clock.Add(time.Second)
+	p.update(10, 100)
+	first := buf.String()
+	if !strings.Contains(first, "\r10/100 homes") || !strings.Contains(first, "10 homes/s") {
+		t.Errorf("first repaint wrong: %q", first)
+	}
+	if !strings.Contains(first, "ETA 9s") {
+		t.Errorf("ETA wrong (90 homes at 10/s): %q", first)
+	}
+
+	clock = clock.Add(progressInterval / 2)
+	p.update(20, 100)
+	if buf.String() != first {
+		t.Error("update inside the throttle window repainted")
+	}
+
+	clock = clock.Add(progressInterval)
+	p.update(30, 100)
+	if !strings.Contains(buf.String(), "\r30/100 homes") {
+		t.Errorf("update past the throttle window did not repaint: %q", buf.String())
+	}
+
+	// The final update bypasses the throttle so the line never shows a
+	// stale count at completion.
+	p.update(100, 100)
+	if !strings.Contains(buf.String(), "\r100/100 homes") {
+		t.Errorf("final update did not repaint: %q", buf.String())
+	}
+
+	p.finish()
+	if !strings.HasSuffix(buf.String(), "\r\x1b[K") {
+		t.Errorf("finish did not erase the line: %q", buf.String())
+	}
+	n := len(buf.String())
+	p.finish()
+	if len(buf.String()) != n {
+		t.Error("second finish wrote again")
+	}
+
+	var nilTicker *progressTicker
+	nilTicker.finish() // must not panic
+}
+
+// TestIsTerminal: buffers and regular files are not terminals.
+func TestIsTerminal(t *testing.T) {
+	if isTerminal(&strings.Builder{}) {
+		t.Error("strings.Builder reported as a terminal")
+	}
+	f, err := os.CreateTemp(t.TempDir(), "notty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if isTerminal(f) {
+		t.Error("regular file reported as a terminal")
+	}
+}
+
+// TestProfileFlags pins the -cpuprofile/-memprofile wiring: both files
+// are created and flushed by the run's deferred stop.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.prof"), filepath.Join(dir, "mem.prof")
+	code, _, errBuf := runCLI(t, tinyArgs("-cpuprofile", cpu, "-memprofile", mem))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+	// An unwritable profile path is a startup error, before any
+	// simulation work.
+	code, _, errBuf = runCLI(t, tinyArgs("-cpuprofile", filepath.Join(dir, "no", "cpu.prof")))
+	if code != 1 {
+		t.Fatalf("unwritable profile path: exit %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "create cpu profile") {
+		t.Errorf("stderr: %s", errBuf.String())
+	}
+}

@@ -34,6 +34,15 @@
 // (unknown fields rejected, "schema": 1) and Scenario.MarshalJSON
 // emits it, which is what the CLIs' -scenario file.json flag runs.
 //
+// Fleet runs can collect telemetry — counters, histograms, phase spans
+// and a run manifest — strictly out of band: WithTelemetry attaches a
+// collector (the Report gains an additive "telemetry" section whose
+// work totals are bit-for-bit identical at any worker count),
+// WithMetricsSink writes the Prometheus text export on completion, and
+// MetricsHandler serves live /metrics and /debug/vars. Execution-state
+// options like these (and WithProgress) are excluded from the scenario
+// JSON; attach them to a loaded scenario with Scenario.With.
+//
 // # Implementation
 //
 // The implementation lives under internal/: an 802.11 DCF simulator

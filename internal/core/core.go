@@ -22,6 +22,7 @@ import (
 	"repro/internal/rf"
 	"repro/internal/sensors"
 	"repro/internal/surface"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -168,6 +169,19 @@ func solverFor(h *harvester.Harvester, exact bool, cache **surface.Surface) oper
 	return *cache
 }
 
+// countOutcome maps a surface query outcome onto the telemetry counter
+// group. Nil-safe; the query's answer is unaffected either way.
+func countOutcome(t *telemetry.SurfaceCounters, out surface.Outcome) {
+	switch out {
+	case surface.OutcomeGuardBand:
+		t.GuardBand()
+	case surface.OutcomeExact:
+		t.ExactFallback()
+	default:
+		t.Hit()
+	}
+}
+
 // linkExpander is the per-device scratch + memo for materializing a
 // PowerLink's occupied channels without allocating: reusable channel/
 // occupancy buffers, and a link-budget memo keyed on the link geometry.
@@ -250,6 +264,12 @@ type TempSensorDevice struct {
 	// Exact matters only when validating the surface itself (the CLIs
 	// expose it as -exact).
 	Exact bool
+	// Tele, when set, counts each surface query's outcome (grid hit,
+	// exact fallback, guard-band trigger). Strictly out of band: it
+	// never changes which solver runs or what it returns. Queries made
+	// on the direct solver (Exact, or the surface globally disabled)
+	// are not surface queries and are not counted.
+	Tele *telemetry.SurfaceCounters
 
 	surf *surface.Surface // memoized by solverFor
 	exp  linkExpander
@@ -278,7 +298,13 @@ func NewRechargingTempSensor() *TempSensorDevice {
 // as Evaluate, so the two methods agree on any device.
 func (d *TempSensorDevice) NetHarvestedW(link PowerLink) float64 {
 	chans, occ := d.exp.expand(link)
-	return solverFor(d.Harvester, d.Exact, &d.surf).BurstyOperating(chans, occ).HarvestedW
+	s := solverFor(d.Harvester, d.Exact, &d.surf)
+	if surf, ok := s.(*surface.Surface); ok && d.Tele != nil {
+		op, out := surf.BurstyOperatingOutcome(chans, occ)
+		countOutcome(d.Tele, out)
+		return op.HarvestedW
+	}
+	return s.BurstyOperating(chans, occ).HarvestedW
 }
 
 // UpdateRate returns the sensor's energy-neutral update rate over the
@@ -304,6 +330,17 @@ func (d *TempSensorDevice) UpdateRate(link PowerLink) float64 {
 func (d *TempSensorDevice) Evaluate(link PowerLink) (rateHz, netW float64) {
 	chans, occ := d.exp.expand(link)
 	s := solverFor(d.Harvester, d.Exact, &d.surf)
+	if surf, ok := s.(*surface.Surface); ok && d.Tele != nil {
+		boots, out := surf.CanBootBurstyOutcome(chans, occ)
+		countOutcome(d.Tele, out)
+		if !boots {
+			return 0, 0
+		}
+		op, out := surf.BurstyOperatingOutcome(chans, occ)
+		countOutcome(d.Tele, out)
+		netW = op.HarvestedW
+		return d.Sensor.UpdateRate(netW), netW
+	}
 	if !s.CanBootBursty(chans, occ) {
 		return 0, 0
 	}
@@ -327,6 +364,8 @@ type CameraDevice struct {
 	// Exact forces the direct operating-point solver, as on
 	// TempSensorDevice.
 	Exact bool
+	// Tele counts surface query outcomes, as on TempSensorDevice.
+	Tele *telemetry.SurfaceCounters
 
 	surf *surface.Surface // memoized by solverFor
 	exp  linkExpander
@@ -369,8 +408,13 @@ func (d *CameraDevice) NetHarvestedW(link PowerLink) float64 {
 // path is allocation-free in steady state.
 func (d *CameraDevice) Evaluate(link PowerLink) (netW float64) {
 	chans, occ := d.exp.expand(link)
-	op := solverFor(d.Harvester, d.Exact, &d.surf).BurstyOperating(chans, occ)
-	return op.HarvestedW - d.StandbyW
+	s := solverFor(d.Harvester, d.Exact, &d.surf)
+	if surf, ok := s.(*surface.Surface); ok && d.Tele != nil {
+		op, out := surf.BurstyOperatingOutcome(chans, occ)
+		countOutcome(d.Tele, out)
+		return op.HarvestedW - d.StandbyW
+	}
+	return s.BurstyOperating(chans, occ).HarvestedW - d.StandbyW
 }
 
 // InterFrameTime returns the time between captures over the link, or +Inf

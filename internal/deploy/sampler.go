@@ -12,6 +12,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/phy"
 	"repro/internal/router"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
@@ -58,6 +59,13 @@ type Sampler struct {
 	homeRng  *xrand.Rand
 	sensor   *core.TempSensorDevice
 	frameAir float64 // airtime of a 1500-byte client frame at 54 Mbps
+
+	// tele counts simulated bins when the owning run collects telemetry
+	// (nil otherwise — a nil-receiver no-op, so the hot path keeps its
+	// allocation budget). Set via Instrument; the fleet pool re-attaches
+	// (or detaches) it on every acquisition, so a pooled sampler can
+	// never count into a previous run's metrics.
+	tele *telemetry.SamplerCounters
 
 	// lastActiveBg[i] counts the contenders on channel i that ran last
 	// bin, so the per-bin reset touches only stations with state.
@@ -112,6 +120,16 @@ func NewSampler() *Sampler {
 	smp.homeRng = xrand.New(0)
 	smp.sensor = core.NewBatteryFreeTempSensor()
 	return smp
+}
+
+// Instrument attaches run telemetry to the pooled context: bins counts
+// simulated logging bins; surf counts the sensor chain's surface-query
+// outcomes. Pass nils to detach. Counting is strictly out of band — it
+// draws no randomness and changes no event order — so instrumented and
+// bare runs are bit-for-bit identical.
+func (smp *Sampler) Instrument(bins *telemetry.SamplerCounters, surf *telemetry.SurfaceCounters) {
+	smp.tele = bins
+	smp.sensor.Tele = surf
 }
 
 // armClient schedules the next Poisson client-frame arrival, exactly as
@@ -228,6 +246,7 @@ func (smp *Sampler) runStream(cfg HomeConfig, opts Options, visit func(BinSample
 
 		link := core.PoWiFiLinkOccupancy(opts.SensorDistanceFt, occ)
 		rate, netW := smp.sensor.Evaluate(link)
+		smp.tele.Bin()
 		if !visit(BinSample{
 			Bin:           bin,
 			HourOfDay:     hour,

@@ -3,17 +3,36 @@ package fleet
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/deploy"
+	"repro/internal/harvester"
 	"repro/internal/lifecycle"
+	"repro/internal/surface"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
 // samplerPool recycles pooled sampling contexts across fleet runs. A
 // Sampler fully re-derives its state from (seed, labels) on every bin,
 // so reuse across runs is as output-invisible as reuse across homes.
-var samplerPool = sync.Pool{New: func() any { return deploy.NewSampler() }}
+// No New hook: acquireSampler constructs on empty so pool reuse is an
+// observable telemetry diagnostic.
+var samplerPool sync.Pool
+
+// acquireSampler takes a pooled sampling context, or builds one when
+// the pool is empty, counting either way into the run's scheduling
+// diagnostics (nil-safe when telemetry is off).
+func acquireSampler(probe *telemetry.Probe) *deploy.Sampler {
+	if v := samplerPool.Get(); v != nil {
+		probe.Sampler().PoolHit()
+		return v.(*deploy.Sampler)
+	}
+	probe.Sampler().PoolMiss()
+	return deploy.NewSampler()
+}
 
 // ErrStopped is returned by RunWith when the Home hook ends the run
 // early by returning false. It marks a caller-requested stop — the
@@ -34,6 +53,12 @@ type Hooks struct {
 	// home-index order. Returning false stops the run: workers drain
 	// and exit, and RunWith returns ErrStopped with a nil Result.
 	Home func(HomeRecord) bool
+	// Telemetry, if non-nil, collects the run's metrics, phase spans
+	// and manifest (internal/telemetry). Collection is strictly out of
+	// band — no RNG draws, no event-order changes — so the Result is
+	// byte-identical with or without it, and its work-counter totals
+	// are bit-for-bit identical at any worker count.
+	Telemetry *telemetry.Run
 }
 
 // worker is one shard's pooled per-worker state: the sampling context,
@@ -47,19 +72,32 @@ type worker struct {
 	smp      *deploy.Sampler
 	synthRng *xrand.Rand
 	p        *partial
+	probe    *telemetry.Probe
 	devs     [lifecycle.NumKinds]*lifecycle.Device
 }
 
-func newWorker(cfg Config, p *partial) *worker {
-	return &worker{
+func newWorker(cfg Config, p *partial, probe *telemetry.Probe) *worker {
+	w := &worker{
 		cfg:      cfg,
-		smp:      samplerPool.Get().(*deploy.Sampler),
+		smp:      acquireSampler(probe),
 		synthRng: xrand.New(0),
 		p:        p,
+		probe:    probe,
 	}
+	// Attach (or, with telemetry off, explicitly detach) the counters on
+	// every acquisition, so a pooled sampler can never count into a
+	// previous run's metrics.
+	w.smp.Instrument(probe.Sampler(), probe.Surface())
+	return w
 }
 
-func (w *worker) release() { samplerPool.Put(w.smp) }
+func (w *worker) release() {
+	w.smp.Instrument(nil, nil)
+	samplerPool.Put(w.smp)
+	// Fold this worker's sketch shard into the run exactly; the error is
+	// impossible because every shard shares NewProbe's configuration.
+	_ = w.probe.Close()
+}
 
 // device returns the worker's pooled device of the given archetype,
 // its OnBin hook bound once to the worker's pooled partial.
@@ -67,6 +105,8 @@ func (w *worker) device(k lifecycle.Kind) *lifecycle.Device {
 	if w.devs[k] == nil {
 		d := lifecycle.NewDevice(k, lifecycle.Policy{})
 		d.Exact = w.cfg.Exact
+		d.Tele = w.probe.Lifecycle()
+		d.SurfTele = w.probe.Surface()
 		ap := &w.p.arch[k]
 		d.OnBin = ap.add
 		w.devs[k] = d
@@ -111,10 +151,59 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	}
 	res := newResult(cfg)
 
+	// Telemetry setup. When enabled, the operating-point surfaces the
+	// run will query are built up front under their own span — the build
+	// is deterministic and process-cached, so warming changes no output,
+	// but it keeps the one-time cost out of the simulate span.
+	t := h.Telemetry
+	runStart := time.Now()
+	var memStart runtime.MemStats
+	if t != nil {
+		runtime.ReadMemStats(&memStart)
+		if !cfg.Exact && surface.Enabled() {
+			endWarm := t.Span(telemetry.SpanSurfaceWarmup)
+			surface.For(harvester.NewBatteryFree())
+			if cfg.Population.Lifecycle() {
+				surface.For(harvester.NewBatteryCharging())
+			}
+			endWarm()
+		}
+	}
+	homesC := t.Counter(telemetry.CounterHomes)
+
+	// finish stamps the run manifest and throughput gauges once the
+	// result is complete.
+	finish := func() {
+		if t == nil {
+			return
+		}
+		elapsed := time.Since(runStart).Seconds()
+		hashCfg := cfg
+		hashCfg.Workers = 0 // invariant across parallelism by contract
+		m := telemetry.Manifest{
+			Seed:       cfg.Seed,
+			ConfigHash: telemetry.HashConfig(hashCfg),
+			Workers:    cfg.Workers,
+			ElapsedS:   elapsed,
+		}
+		if elapsed > 0 {
+			m.HomesPerSec = float64(cfg.Homes) / elapsed
+			t.Gauge(telemetry.GaugeBinsPerSec).Set(float64(res.TotalBins) / elapsed)
+		}
+		t.SetManifest(m)
+		var memEnd runtime.MemStats
+		runtime.ReadMemStats(&memEnd)
+		if res.TotalBins > 0 {
+			t.Gauge(telemetry.GaugeAllocsPerBin).Set(
+				float64(memEnd.Mallocs-memStart.Mallocs) / float64(res.TotalBins))
+		}
+	}
+
 	// deliver folds one home into the result and feeds the hooks; it
 	// reports whether the run should continue.
 	deliver := func(hs homeStats) (bool, error) {
 		res.addHome(hs)
+		homesC.Inc()
 		if h.Home != nil && !h.Home(hs.record()) {
 			return false, ErrStopped
 		}
@@ -136,17 +225,22 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 		if cfg.Population.Lifecycle() {
 			p.arch = newArchPartials()
 		}
-		w := newWorker(cfg, p)
-		defer w.release()
+		endSim := t.Span(telemetry.SpanSimulate)
+		w := newWorker(cfg, p, t.NewProbe())
 		for i := 0; i < cfg.Homes; i++ {
 			hs, ok := w.runHome(ctx, i)
 			if !ok {
+				w.release()
 				return nil, ctx.Err()
 			}
 			if cont, err := deliver(hs); !cont {
+				w.release()
 				return nil, err
 			}
 		}
+		w.release()
+		endSim()
+		endReduce := t.Span(telemetry.SpanReduce)
 		res.SilentBins += p.silentBins
 		res.TotalBins += p.totalBins
 		if p.arch != nil {
@@ -154,6 +248,8 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 				res.Arch[i].mergePooled(&p.arch[i])
 			}
 		}
+		endReduce()
+		finish()
 		return res, nil
 	}
 
@@ -165,6 +261,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	jobs := make(chan int)
 	out := make(chan homeStats, cfg.Workers)
 	partials := make([]*partial, cfg.Workers)
+	endSim := t.Span(telemetry.SpanSimulate)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Workers; i++ {
 		p := newPartial(cfg)
@@ -176,7 +273,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 			// router, monitors and traffic sources are built once and reset
 			// per bin, so the steady-state hot path stops paying allocator
 			// and GC tax. Pooling is output-invisible (see deploy.Sampler).
-			w := newWorker(cfg, p)
+			w := newWorker(cfg, p, t.NewProbe())
 			defer w.release()
 			for idx := range jobs {
 				hs, ok := w.runHome(ctx, idx)
@@ -231,6 +328,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 			}
 		}
 	}
+	endSim()
 	if stopErr != nil {
 		return nil, stopErr
 	}
@@ -239,9 +337,12 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	}
 	// Pooled per-bin aggregates merge exactly regardless of how homes
 	// were grouped onto workers; worker order is fixed only for clarity.
+	endReduce := t.Span(telemetry.SpanReduce)
 	for _, p := range partials {
 		res.mergePartial(p)
 	}
+	endReduce()
+	finish()
 	return res, nil
 }
 
@@ -274,6 +375,7 @@ func (w *worker) runHome(ctx context.Context, idx int) (hs homeStats, ok bool) {
 		cancelled                   bool
 	)
 	p := w.p
+	silent0 := p.silentBins
 	w.smp.StreamBins(h.HomeConfig, opts, func(s deploy.BinSample) bool {
 		if ctx.Err() != nil {
 			cancelled = true
@@ -317,6 +419,9 @@ func (w *worker) runHome(ctx context.Context, idx int) (hs homeStats, ok bool) {
 		meanHarvestUW: sumHarvest / n,
 		meanRate:      sumRate / n,
 	}
+	// Telemetry: silent bins fold into the shared counter, the home's
+	// mean harvest into this worker's private sketch shard.
+	w.probe.ObserveHome(uint64(p.silentBins-silent0), hs.meanHarvestUW)
 	for i := range sumCh {
 		hs.meanChPct[i] = sumCh[i] / n
 	}

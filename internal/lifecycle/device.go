@@ -8,6 +8,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/harvester"
 	"repro/internal/sensors"
+	"repro/internal/telemetry"
 )
 
 // Engine constants. The storage-capacitor sizing matches the §5.1
@@ -171,6 +172,12 @@ type Device struct {
 	Exact bool
 	// OnBin, if non-nil, receives one BinStats per bin.
 	OnBin func(BinStats)
+	// Tele, when set, counts lifecycle activity (boot/brownout
+	// transitions, ledger events); SurfTele counts the archetype chains'
+	// surface-query outcomes. Both are strictly out of band and must be
+	// set before Begin (Begin propagates SurfTele onto the chains).
+	Tele     *telemetry.LifecycleCounters
+	SurfTele *telemetry.SurfaceCounters
 
 	// Archetype chains. temp is the §5.1 battery-free chain used only
 	// to size the storage windows; chain is the bq25570 front end the
@@ -277,9 +284,11 @@ func (d *Device) Begin(sensorFt float64, binWidth time.Duration) {
 	}
 	if d.chain != nil {
 		d.chain.Exact = d.Exact
+		d.chain.Tele = d.SurfTele
 	}
 	if d.cam != nil {
 		d.cam.Exact = d.Exact
+		d.cam.Tele = d.SurfTele
 	}
 	if d.battery != nil {
 		d.battery.SetSoC(d.Policy.InitialSoC)
@@ -323,8 +332,12 @@ func (d *Device) VisitBin(s deploy.BinSample) {
 		d.m.OutageBins++
 		if d.state == StateOperate {
 			d.state = StateBrownout
+			d.Tele.Brownout()
 		}
 	} else {
+		if d.state != StateOperate {
+			d.Tele.Boot()
+		}
 		d.state = StateOperate
 	}
 	if d.battery != nil {
@@ -336,6 +349,7 @@ func (d *Device) VisitBin(s deploy.BinSample) {
 		}
 	}
 	if d.OnBin != nil {
+		d.Tele.LedgerEvent()
 		d.OnBin(b)
 	}
 }

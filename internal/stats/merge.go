@@ -59,6 +59,39 @@ func (w *Welford) Merge(o Welford) {
 	w.N += o.N
 }
 
+// checkMergeable rejects accumulators whose state cannot have come from
+// a sequence of Adds: a non-finite mean or sum of squared deviations, a
+// negative M2, or a claimed sample count with no consistent moments.
+// Merging one would silently poison every downstream aggregate.
+func (w Welford) checkMergeable() error {
+	if w.N == 0 {
+		return nil
+	}
+	if math.IsNaN(w.Mean) || math.IsInf(w.Mean, 0) {
+		return fmt.Errorf("stats: welford accumulator (n=%d) has non-finite mean %v", w.N, w.Mean)
+	}
+	if math.IsNaN(w.M2) || math.IsInf(w.M2, 0) || w.M2 < 0 {
+		return fmt.Errorf("stats: welford accumulator (n=%d) has invalid M2 %v", w.N, w.M2)
+	}
+	return nil
+}
+
+// TryMerge is Merge with explicit validation: both accumulators must be
+// well-formed (finite mean, non-negative finite M2). On error the
+// receiver is left unchanged; Merge itself performs no validation, so
+// shard reducers that cannot tolerate silent corruption should prefer
+// TryMerge.
+func (w *Welford) TryMerge(o Welford) error {
+	if err := w.checkMergeable(); err != nil {
+		return err
+	}
+	if err := o.checkMergeable(); err != nil {
+		return err
+	}
+	w.Merge(o)
+	return nil
+}
+
 // Variance returns the population variance, or 0 with fewer than two
 // samples.
 func (w *Welford) Variance() float64 {
@@ -123,13 +156,25 @@ func (s *Sketch) Add(x float64) {
 // Merge folds another sketch into this one. Both sketches must share
 // bounds and bin count; Merge panics otherwise, since silently mixing
 // incompatible resolutions would corrupt every derived quantile.
+// TryMerge is the error-returning form for reducers that handle the
+// mismatch instead of crashing.
 func (s *Sketch) Merge(o *Sketch) {
+	if err := s.TryMerge(o); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryMerge folds another sketch into this one, returning an explicit
+// error when the configurations differ (bounds or bin count): mixing
+// incompatible resolutions would corrupt every derived quantile, so it
+// must never happen silently. On error the receiver is unchanged.
+func (s *Sketch) TryMerge(o *Sketch) error {
 	if s.Lo != o.Lo || s.Hi != o.Hi || len(s.Counts) != len(o.Counts) {
-		panic(fmt.Sprintf("stats: merging incompatible sketches [%v,%v)x%d and [%v,%v)x%d",
-			s.Lo, s.Hi, len(s.Counts), o.Lo, o.Hi, len(o.Counts)))
+		return fmt.Errorf("stats: merging incompatible sketches [%v,%v)x%d and [%v,%v)x%d",
+			s.Lo, s.Hi, len(s.Counts), o.Lo, o.Hi, len(o.Counts))
 	}
 	if o.n == 0 {
-		return
+		return nil
 	}
 	if s.n == 0 || o.minV < s.minV {
 		s.minV = o.minV
@@ -143,6 +188,7 @@ func (s *Sketch) Merge(o *Sketch) {
 	for i, c := range o.Counts {
 		s.Counts[i] += c
 	}
+	return nil
 }
 
 // N returns the number of samples recorded.

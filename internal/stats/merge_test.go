@@ -355,3 +355,102 @@ func TestNewSketchPanicsOnBadBounds(t *testing.T) {
 	}()
 	NewSketch(5, 5, 10)
 }
+
+func TestSketchTryMergeMismatch(t *testing.T) {
+	cases := []struct {
+		name string
+		o    *Sketch
+	}{
+		{"bins", NewSketch(0, 10, 8)},
+		{"hi", NewSketch(0, 20, 4)},
+		{"lo", NewSketch(1, 10, 4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSketch(0, 10, 4)
+			s.Add(3)
+			tc.o.Add(7)
+			before := *s
+			if err := s.TryMerge(tc.o); err == nil {
+				t.Fatal("TryMerge accepted an incompatible sketch")
+			}
+			if !reflect.DeepEqual(before.Counts, s.Counts) || before.n != s.n {
+				t.Error("failed TryMerge modified the receiver")
+			}
+		})
+	}
+}
+
+func TestSketchTryMergeMatchesMerge(t *testing.T) {
+	r := xrand.New(11)
+	a, b := sketchOf(sample(r, 500)), sketchOf(sample(r, 300))
+	viaMerge := sketchOf(nil)
+	viaMerge.Merge(a)
+	viaMerge.Merge(b)
+	viaTry := sketchOf(nil)
+	if err := viaTry.TryMerge(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaTry.TryMerge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaMerge, viaTry) {
+		t.Error("TryMerge and Merge diverged on compatible sketches")
+	}
+}
+
+func TestWelfordTryMerge(t *testing.T) {
+	var a, b Welford
+	for _, x := range []float64{1, 2, 3} {
+		a.Add(x)
+	}
+	for _, x := range []float64{4, 5} {
+		b.Add(x)
+	}
+	want := a
+	want.Merge(b)
+	got := a
+	if err := got.TryMerge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("TryMerge = %+v, want %+v", got, want)
+	}
+
+	bad := []struct {
+		name string
+		o    Welford
+	}{
+		{"nan mean", Welford{N: 2, Mean: math.NaN()}},
+		{"inf mean", Welford{N: 2, Mean: math.Inf(1)}},
+		{"negative m2", Welford{N: 2, Mean: 1, M2: -1}},
+		{"nan m2", Welford{N: 2, Mean: 1, M2: math.NaN()}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			got := a
+			if err := got.TryMerge(tc.o); err == nil {
+				t.Fatal("TryMerge accepted a corrupt accumulator")
+			}
+			if got != a {
+				t.Error("failed TryMerge modified the receiver")
+			}
+		})
+	}
+	t.Run("corrupt receiver", func(t *testing.T) {
+		got := Welford{N: 3, Mean: 1, M2: -2}
+		if err := got.TryMerge(b); err == nil {
+			t.Fatal("TryMerge accepted a corrupt receiver")
+		}
+	})
+	t.Run("empty sides", func(t *testing.T) {
+		var e Welford
+		if err := e.TryMerge(Welford{}); err != nil {
+			t.Fatal(err)
+		}
+		got := Welford{}
+		if err := got.TryMerge(a); err != nil || got != a {
+			t.Errorf("empty receiver TryMerge = %+v, %v; want %+v", got, err, a)
+		}
+	})
+}

@@ -397,14 +397,31 @@ func (s *Surface) nearSeikoThreshold(v, thresholdV float64) bool {
 	return math.Abs(v-thresholdV) <= s.opts.VBandV
 }
 
+// Outcome classifies how the surface answered one query — telemetry
+// reads it; the answer itself is identical either way.
+type Outcome uint8
+
+const (
+	// OutcomeHit: answered from the interpolation grids within the
+	// certified ε bound.
+	OutcomeHit Outcome = iota
+	// OutcomeExact: the query left the grid domain (or the assembly has
+	// no fast path) and was re-solved exactly.
+	OutcomeExact
+	// OutcomeGuardBand: the interpolated rectifier voltage landed
+	// within the guard band of the Seiko startup threshold, where the
+	// chain is discontinuous, so the exact solver decided.
+	OutcomeGuardBand
+)
+
 // multiChannelOperatingPoint mirrors Harvester.MultiChannelOperatingPoint
 // — same starting point, damping, iteration count and stop tolerance —
-// with the interpolated Rp replacing the nested rectifier solves. ok is
-// false when the query leaves the grid domain or lands in the Seiko
-// guard band; the caller then falls back to the exact solver.
-func (s *Surface) multiChannelOperatingPoint(chans []harvester.ChannelPower) (harvester.Operating, bool) {
+// with the interpolated Rp replacing the nested rectifier solves. Any
+// outcome other than OutcomeHit means the result is unusable and the
+// caller must fall back to the exact solver.
+func (s *Surface) multiChannelOperatingPoint(chans []harvester.ChannelPower) (harvester.Operating, Outcome) {
 	if len(chans) == 0 {
-		return harvester.Operating{}, true
+		return harvester.Operating{}, OutcomeHit
 	}
 	total := 0.0
 	for _, c := range chans {
@@ -427,7 +444,7 @@ func (s *Surface) multiChannelOperatingPoint(chans []harvester.ChannelPower) (ha
 	for iter := 0; iter < 8; iter++ {
 		rp, ok := interpRpAt(s.op, total, &hint)
 		if !ok {
-			return harvester.Operating{}, false
+			return harvester.Operating{}, OutcomeExact
 		}
 		next := 0.0
 		for j, c := range chans {
@@ -449,16 +466,16 @@ func (s *Surface) multiChannelOperatingPoint(chans []harvester.ChannelPower) (ha
 	}
 	v, i, ok := interpVIAt(s.op, total, hint)
 	if !ok {
-		return harvester.Operating{}, false
+		return harvester.Operating{}, OutcomeExact
 	}
 	if s.h.Version == harvester.BatteryFree && s.nearSeikoThreshold(v, s.h.Seiko.StartupV) {
 		// The Seiko output switches on discontinuously at the startup
 		// threshold; inside the guard band only the exact solver can
 		// place v on the right side.
-		return harvester.Operating{}, false
+		return harvester.Operating{}, OutcomeGuardBand
 	}
 	return harvester.Operating{AcceptedW: total, VRect: v, IRect: i, RectDCW: v * i,
-		HarvestedW: s.h.ConverterHarvest(v, i)}, true
+		HarvestedW: s.h.ConverterHarvest(v, i)}, OutcomeHit
 }
 
 // BurstyOperating is the surface-accelerated counterpart of
@@ -467,18 +484,28 @@ func (s *Surface) multiChannelOperatingPoint(chans []harvester.ChannelPower) (ha
 // Falls back to the exact solver outside the grid domain or inside the
 // Seiko guard band.
 func (s *Surface) BurstyOperating(chans []harvester.ChannelPower, occupancy []float64) harvester.Operating {
+	op, _ := s.BurstyOperatingOutcome(chans, occupancy)
+	return op
+}
+
+// BurstyOperatingOutcome is BurstyOperating plus how the query was
+// answered — from the grids, or by the exact solver after a domain exit
+// or guard-band trigger (the fallback already applied; the Operating is
+// final either way). Trivial queries the surface answers closed-form
+// (idle bins, degenerate inputs) count as hits.
+func (s *Surface) BurstyOperatingOutcome(chans []harvester.ChannelPower, occupancy []float64) (harvester.Operating, Outcome) {
 	if len(chans) == 0 || len(chans) != len(occupancy) {
-		return harvester.Operating{}
+		return harvester.Operating{}, OutcomeHit
 	}
 	cond, anyActive, ok := harvester.BurstyConditional(chans, occupancy)
 	if !ok {
-		return s.h.IdleOperating()
+		return s.h.IdleOperating(), OutcomeHit
 	}
-	op, fast := s.multiChannelOperatingPoint(cond)
-	if !fast {
-		return s.h.BurstyOperating(chans, occupancy)
+	op, out := s.multiChannelOperatingPoint(cond)
+	if out != OutcomeHit {
+		return s.h.BurstyOperating(chans, occupancy), out
 	}
-	return s.h.FinishBursty(op, anyActive)
+	return s.h.FinishBursty(op, anyActive), OutcomeHit
 }
 
 // CanBootBursty is the surface-accelerated counterpart of
@@ -488,19 +515,31 @@ func (s *Surface) BurstyOperating(chans []harvester.ChannelPower, occupancy []fl
 // threshold is resolved by the exact solver, so the boolean is always
 // bit-identical to the exact path.
 func (s *Surface) CanBootBursty(chans []harvester.ChannelPower, occupancy []float64) bool {
+	boots, _ := s.CanBootBurstyOutcome(chans, occupancy)
+	return boots
+}
+
+// CanBootBurstyOutcome is CanBootBursty plus how the query was answered;
+// the boolean is bit-identical to the exact path in every case.
+// Non-battery-free assemblies and dead boot drives decide closed-form
+// and count as hits.
+func (s *Surface) CanBootBurstyOutcome(chans []harvester.ChannelPower, occupancy []float64) (bool, Outcome) {
 	if s.h.Version != harvester.BatteryFree {
-		return true
+		return true, OutcomeHit
 	}
 	condW, freq, droop, ok := s.h.BootDrive(chans, occupancy)
 	if !ok {
-		return false
+		return false, OutcomeHit
 	}
 	v, fast := s.startupVoltage(condW, freq)
 	threshold := s.h.Seiko.StartupV + droop
-	if !fast || s.nearSeikoThreshold(v, threshold) {
-		return s.h.StartupVoltage(condW, freq) >= threshold
+	if !fast {
+		return s.h.StartupVoltage(condW, freq) >= threshold, OutcomeExact
 	}
-	return v >= threshold
+	if s.nearSeikoThreshold(v, threshold) {
+		return s.h.StartupVoltage(condW, freq) >= threshold, OutcomeGuardBand
+	}
+	return v >= threshold, OutcomeHit
 }
 
 // startupVoltage mirrors Harvester.StartupVoltage with grid lookups.

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// The expvar namespace is process-global and panics on duplicate
+// Publish, so the "powifi" var is registered exactly once and reads
+// through an atomic pointer to whichever run most recently asked for a
+// handler.
+var (
+	activeRun   atomic.Pointer[Run]
+	expvarOnce  sync.Once
+	expvarValue = expvar.Func(func() any {
+		if r := activeRun.Load(); r != nil {
+			return r.Snapshot()
+		}
+		return nil
+	})
+)
+
+// Handler returns the run's debug HTTP handler: /metrics serves the
+// Prometheus text export and /debug/vars the standard expvar JSON,
+// whose "powifi" key carries this run's Snapshot. Calling Handler
+// makes the run the process's active expvar run (last call wins).
+// Snapshots are taken per request, so metrics are readable mid-run. A
+// nil Run still returns a working handler with empty metrics.
+func (t *Run) Handler() http.Handler {
+	expvarOnce.Do(func() { expvar.Publish("powifi", expvarValue) })
+	if t != nil {
+		activeRun.Store(t)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

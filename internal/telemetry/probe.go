@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"repro/internal/stats"
+)
+
+// Per-worker home-harvest shard configuration. Mirrors the fleet
+// summary's harvest sketch resolution so the telemetry histogram and
+// the report CDF describe the same range.
+const (
+	harvestShardHiUW = 500
+	harvestShardBins = 2000
+
+	shardHomesHi   = 1 << 16
+	shardHomesBins = 256
+)
+
+// SurfaceCounters counts operating-point surface queries by outcome:
+// grid hits, exact-solver fallbacks on domain exit, and guard-band
+// triggers near the Seiko startup threshold. All methods are nil-safe.
+type SurfaceCounters struct {
+	hits, exact, guard *Counter
+}
+
+// Hit counts a query answered from the interpolation grid.
+func (c *SurfaceCounters) Hit() {
+	if c != nil {
+		c.hits.Inc()
+	}
+}
+
+// ExactFallback counts a query that left the grid domain and was
+// re-solved exactly.
+func (c *SurfaceCounters) ExactFallback() {
+	if c != nil {
+		c.exact.Inc()
+	}
+}
+
+// GuardBand counts a query inside the Seiko startup guard band, where
+// the surface defers to the exact solver by design.
+func (c *SurfaceCounters) GuardBand() {
+	if c != nil {
+		c.guard.Inc()
+	}
+}
+
+// SamplerCounters counts sampler activity: logging bins simulated
+// (work, workers-invariant) and pool reuse (scheduling diagnostic).
+// All methods are nil-safe.
+type SamplerCounters struct {
+	bins               *Counter
+	poolHits, poolMiss *Counter
+}
+
+// Bin counts one simulated logging bin.
+func (c *SamplerCounters) Bin() {
+	if c != nil {
+		c.bins.Inc()
+	}
+}
+
+// PoolHit counts a sampler acquired from the pool.
+func (c *SamplerCounters) PoolHit() {
+	if c != nil {
+		c.poolHits.Inc()
+	}
+}
+
+// PoolMiss counts a sampler freshly allocated because the pool was
+// empty.
+func (c *SamplerCounters) PoolMiss() {
+	if c != nil {
+		c.poolMiss.Inc()
+	}
+}
+
+// LifecycleCounters counts device-lifecycle activity: boot and
+// brownout transitions and ledger (per-bin hook) events. All methods
+// are nil-safe.
+type LifecycleCounters struct {
+	boots, brownouts, ledger *Counter
+}
+
+// Boot counts a device entering the operating state.
+func (c *LifecycleCounters) Boot() {
+	if c != nil {
+		c.boots.Inc()
+	}
+}
+
+// Brownout counts a device dropping out of the operating state.
+func (c *LifecycleCounters) Brownout() {
+	if c != nil {
+		c.brownouts.Inc()
+	}
+}
+
+// LedgerEvent counts one ledger hook invocation.
+func (c *LifecycleCounters) LedgerEvent() {
+	if c != nil {
+		c.ledger.Inc()
+	}
+}
+
+// SurfaceCounters returns the run's surface counter group (one shared
+// instance; the underlying counters are atomic). Nil on a nil Run.
+func (t *Run) SurfaceCounters() *SurfaceCounters {
+	if t == nil {
+		return nil
+	}
+	hits := t.Counter(CounterSurfaceHits)
+	exact := t.Counter(CounterSurfaceExact)
+	guard := t.Counter(CounterSurfaceGuardBand)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.surface == nil {
+		t.surface = &SurfaceCounters{hits: hits, exact: exact, guard: guard}
+	}
+	return t.surface
+}
+
+// SamplerCounters returns the run's sampler counter group. Nil on a
+// nil Run.
+func (t *Run) SamplerCounters() *SamplerCounters {
+	if t == nil {
+		return nil
+	}
+	bins := t.Counter(CounterBins)
+	hits := t.SchedCounter(SchedPoolHits)
+	miss := t.SchedCounter(SchedPoolMisses)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sampler == nil {
+		t.sampler = &SamplerCounters{bins: bins, poolHits: hits, poolMiss: miss}
+	}
+	return t.sampler
+}
+
+// LifecycleCounters returns the run's lifecycle counter group. Nil on
+// a nil Run.
+func (t *Run) LifecycleCounters() *LifecycleCounters {
+	if t == nil {
+		return nil
+	}
+	boots := t.Counter(CounterLifecycleBoots)
+	brown := t.Counter(CounterLifecycleBrownouts)
+	ledger := t.Counter(CounterLifecycleLedger)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.lifecycle == nil {
+		t.lifecycle = &LifecycleCounters{boots: boots, brownouts: brown, ledger: ledger}
+	}
+	return t.lifecycle
+}
+
+// Probe is one worker's view of the run telemetry. Counters go
+// straight to the run's shared atomics (commutative, so sharding never
+// changes the totals); distribution samples accumulate in a private
+// stats.Sketch shard that Close folds in exactly. A nil *Probe
+// (telemetry disabled) ignores every call.
+type Probe struct {
+	run     *Run
+	homes   uint64
+	silent  *Counter
+	harvest *stats.Sketch
+}
+
+// NewProbe creates a worker probe. Nil on a nil Run.
+func (t *Run) NewProbe() *Probe {
+	if t == nil {
+		return nil
+	}
+	return &Probe{
+		run:     t,
+		silent:  t.Counter(CounterSilentBins),
+		harvest: stats.NewSketch(0, harvestShardHiUW, harvestShardBins),
+	}
+}
+
+// Surface returns the run's surface counter group.
+func (p *Probe) Surface() *SurfaceCounters {
+	if p == nil {
+		return nil
+	}
+	return p.run.SurfaceCounters()
+}
+
+// Sampler returns the run's sampler counter group.
+func (p *Probe) Sampler() *SamplerCounters {
+	if p == nil {
+		return nil
+	}
+	return p.run.SamplerCounters()
+}
+
+// Lifecycle returns the run's lifecycle counter group.
+func (p *Probe) Lifecycle() *LifecycleCounters {
+	if p == nil {
+		return nil
+	}
+	return p.run.LifecycleCounters()
+}
+
+// ObserveHome records one completed home: its silent-bin count folds
+// into the shared counter and its mean harvested power lands in the
+// worker's private sketch shard.
+func (p *Probe) ObserveHome(silentBins uint64, meanHarvestUW float64) {
+	if p == nil {
+		return
+	}
+	p.homes++
+	p.silent.Add(silentBins)
+	p.harvest.Add(meanHarvestUW)
+}
+
+// Close folds the probe's shard into the run: the harvest sketch
+// merges exactly into the work histogram, and the worker's home count
+// lands in the shard-occupancy diagnostic histogram. Safe to call on a
+// nil probe; the error is impossible when every shard came from
+// NewProbe (identical sketch configuration by construction).
+func (p *Probe) Close() error {
+	if p == nil {
+		return nil
+	}
+	if err := p.run.mergeHistogram(HistHomeHarvestUW, p.harvest); err != nil {
+		return err
+	}
+	p.run.Histogram(HistShardHomes, 0, shardHomesHi, shardHomesBins).Observe(float64(p.homes))
+	return nil
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// promPrefix namespaces every exported metric.
+const promPrefix = "powifi_"
+
+// WritePrometheus renders the run in Prometheus text exposition format
+// (version 0.0.4). The output is derived from the same Snapshot that
+// backs the JSON and expvar exports, key-sorted, so repeated writes of
+// a finished run are byte-identical. Work counters and scheduling
+// diagnostics both render as counters ("_total"); the sched class is
+// marked in its HELP line. Histograms render summary-style with
+// quantile labels. A nil Run writes nothing.
+func (t *Run) WritePrometheus(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return t.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format; see Run.WritePrometheus.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := &errWriter{w: w}
+
+	bw.printf("# HELP %srun_info run manifest (value is always 1; fields are labels)\n", promPrefix)
+	bw.printf("# TYPE %srun_info gauge\n", promPrefix)
+	bw.printf("%srun_info{seed=%q,config_hash=%q,go_version=%q,workers=%q} 1\n",
+		promPrefix, strconv.FormatUint(s.Manifest.Seed, 10), s.Manifest.ConfigHash,
+		s.Manifest.GoVersion, strconv.Itoa(s.Manifest.Workers))
+	if s.Manifest.ElapsedS > 0 {
+		bw.gauge("elapsed_seconds", "run wall time", s.Manifest.ElapsedS)
+	}
+	if s.Manifest.HomesPerSec > 0 {
+		bw.gauge("homes_per_second", "run throughput", s.Manifest.HomesPerSec)
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		bw.printf("# HELP %s%s_total work counter (workers-invariant)\n", promPrefix, name)
+		bw.printf("# TYPE %s%s_total counter\n", promPrefix, name)
+		bw.printf("%s%s_total %d\n", promPrefix, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Sched) {
+		bw.printf("# HELP %s%s_total scheduling diagnostic (varies with worker count)\n", promPrefix, name)
+		bw.printf("# TYPE %s%s_total counter\n", promPrefix, name)
+		bw.printf("%s%s_total %d\n", promPrefix, name, s.Sched[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		bw.gauge(name, "run gauge", s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		bw.printf("# HELP %s%s distribution summary\n", promPrefix, name)
+		bw.printf("# TYPE %s%s summary\n", promPrefix, name)
+		bw.printf("%s%s{quantile=\"0.5\"} %s\n", promPrefix, name, formatFloat(h.P50))
+		bw.printf("%s%s{quantile=\"0.95\"} %s\n", promPrefix, name, formatFloat(h.P95))
+		bw.printf("%s%s{quantile=\"0.99\"} %s\n", promPrefix, name, formatFloat(h.P99))
+		bw.printf("%s%s_sum %s\n", promPrefix, name, formatFloat(h.Mean*float64(h.N)))
+		bw.printf("%s%s_count %d\n", promPrefix, name, h.N)
+	}
+	for _, sp := range s.Spans {
+		bw.printf("%sspan_wall_seconds{phase=%q} %s\n", promPrefix, sp.Name, formatFloat(sp.WallS))
+		bw.printf("%sspan_cpu_seconds{phase=%q} %s\n", promPrefix, sp.Name, formatFloat(sp.CPUS))
+	}
+	return bw.err
+}
+
+// errWriter folds write errors so the renderer stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (bw *errWriter) printf(format string, args ...any) {
+	if bw.err != nil {
+		return
+	}
+	_, bw.err = fmt.Fprintf(bw.w, format, args...)
+}
+
+func (bw *errWriter) gauge(name, help string, v float64) {
+	bw.printf("# HELP %s%s %s\n", promPrefix, name, help)
+	bw.printf("# TYPE %s%s gauge\n", promPrefix, name)
+	bw.printf("%s%s %s\n", promPrefix, name, formatFloat(v))
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

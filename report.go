@@ -38,6 +38,11 @@ type Report struct {
 	Home *HomeReport `json:"home,omitempty"`
 	// Experiment holds a regenerated paper table or figure.
 	Experiment *ExperimentReport `json:"experiment,omitempty"`
+	// Telemetry holds the run's metrics snapshot and manifest when the
+	// scenario carried WithTelemetry or WithMetricsSink (fleet mode
+	// only). Purely additive and out of band: the simulation sections
+	// are byte-identical with or without it.
+	Telemetry *TelemetrySnapshot `json:"telemetry,omitempty"`
 }
 
 // FleetSummary is the serialized fleet report; see fleet.Summary for

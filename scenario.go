@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"iter"
 	"sync"
 	"time"
@@ -59,6 +60,8 @@ type Scenario struct {
 	experiment string
 	full       bool
 	progress   func(done, total int)
+	telemetry  *Telemetry
+	metricsTo  io.Writer
 }
 
 // optSet tracks which options a scenario carries, so zero values the
@@ -81,6 +84,8 @@ const (
 	optExperiment
 	optFull
 	optProgress
+	optTelemetry
+	optMetricsSink
 )
 
 // Option configures a Scenario under construction.
@@ -104,6 +109,27 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// With derives a new scenario from s with additional options applied —
+// the escape hatch for attaching execution state (WithProgress,
+// WithTelemetry, WithMetricsSink) to a scenario loaded from its JSON
+// form, which deliberately cannot carry it. The receiver is never
+// modified; the derived scenario is re-validated as a whole.
+func (s *Scenario) With(opts ...Option) (*Scenario, error) {
+	clone := *s
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, errors.New("powifi: nil Option")
+		}
+		if err := opt(&clone); err != nil {
+			return nil, err
+		}
+	}
+	if err := clone.validate(); err != nil {
+		return nil, err
+	}
+	return &clone, nil
 }
 
 // WithHomes sets the number of synthesized households of a fleet run
@@ -246,6 +272,9 @@ func (s *Scenario) validate() error {
 		if s.set&optFull != 0 {
 			return errors.New("powifi: WithFull applies only to experiment scenarios")
 		}
+		if s.set&(optTelemetry|optMetricsSink) != 0 {
+			return errors.New("powifi: WithTelemetry/WithMetricsSink apply only to fleet scenarios")
+		}
 	default:
 		if s.set&optSensor != 0 {
 			return errors.New("powifi: WithSensorDistance requires WithHome; fleet placements come from the population")
@@ -322,12 +351,27 @@ func (s *Scenario) fleetConfig() fleet.Config {
 }
 
 func (s *Scenario) runFleet(ctx context.Context) (*Report, error) {
-	res, err := fleet.RunWith(ctx, s.fleetConfig(), fleet.Hooks{Progress: s.progress})
+	t := s.telemetry
+	if t == nil && s.set&optMetricsSink != 0 {
+		// A sink without an explicit collector still needs one to write.
+		t = NewTelemetry()
+	}
+	res, err := fleet.RunWith(ctx, s.fleetConfig(), fleet.Hooks{Progress: s.progress, Telemetry: t})
 	if err != nil {
 		return nil, err
 	}
 	sum := res.Summarize()
-	return newReport(ModeFleet, &Report{Fleet: &sum}), nil
+	rep := newReport(ModeFleet, &Report{Fleet: &sum})
+	if t != nil {
+		snap := t.Snapshot()
+		rep.Telemetry = &snap
+		if s.metricsTo != nil {
+			if err := t.WritePrometheus(s.metricsTo); err != nil {
+				return nil, fmt.Errorf("powifi: writing metrics sink: %w", err)
+			}
+		}
+	}
+	return rep, nil
 }
 
 // homeRun assembles the single-home configuration and options, leaving
