@@ -262,6 +262,37 @@ func BenchmarkFleetExact(b *testing.B) {
 	}
 }
 
+// sweepBenchConfig is the million-home-sweep workload shape at a
+// CI-friendly home count: a full 24-bin day per home at the fleet
+// default 10 ms sampling window — the configuration the coarse tier is
+// certified for. The per-home rate it produces (homes/sec) is
+// scale-invariant in Homes, so it stands in for the 1M-home target.
+func sweepBenchConfig(homes int, coarse bool) fleet.Config {
+	return fleet.Config{
+		Homes:    homes,
+		Seed:     42,
+		Workers:  1,
+		Hours:    24,
+		BinWidth: time.Hour,
+		Window:   10 * time.Millisecond,
+		Coarse:   coarse,
+	}
+}
+
+// BenchmarkFleetSweep measures the exact tier on the sweep workload;
+// BenchmarkFleetSweepCoarse is the same sweep on the error-bounded
+// coarse tier (anchor-only event simulation, consensus decisions,
+// fitted magnitudes). Their ratio is the coarse tier's certified-ε
+// speedup; the absolute homes/sec tracks the ROADMAP's million-home
+// single-digit-seconds target.
+func BenchmarkFleetSweep(b *testing.B) {
+	runFleetBench(b, sweepBenchConfig(200, false))
+}
+
+func BenchmarkFleetSweepCoarse(b *testing.B) {
+	runFleetBench(b, sweepBenchConfig(200, true))
+}
+
 // BenchmarkFig16USBCharger regenerates the §8(a) Jawbone charging run.
 func BenchmarkFig16USBCharger(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -119,9 +118,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, err)
 				return 1
 			}
-			srv := &http.Server{Handler: powifi.MetricsHandler(tel)}
-			go func() { _ = srv.Serve(ln) }()
-			defer srv.Close()
+			// Graceful teardown: an abrupt Close at exit would reset a
+			// /metrics scrape mid-response; ServeMetrics' shutdown lets
+			// an in-flight scrape finish under a short deadline.
+			defer powifi.ServeMetrics(ln, powifi.MetricsHandler(tel))()
 			fmt.Fprintf(stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
 		}
 		rep, err := sc.Run(ctx)

@@ -16,6 +16,14 @@
 // pays the full Bessel/Newton solve per bin, which is only useful for
 // validating the surface's ε guarantee.
 //
+// -coarse selects the error-bounded coarse sampling tier for
+// million-home sweeps: only anchor bins run the packet-level event
+// simulation, the bins between are proxied from each home's exact
+// offered-load plan, and any bin whose boot/silence decision is not
+// provably stable escalates back to the event simulation. Boot/silence
+// decisions stay bit-identical to the default tier; aggregate
+// magnitudes carry the tier's certified ε. Incompatible with -devices.
+//
 // A population device mix (-devices) switches on the stateful
 // device-lifecycle engine: each home is assigned one device archetype —
 // temp, rtemp, camera, jawbone, liion or nimh — drawn from the given
@@ -25,6 +33,15 @@
 // trajectory, time to full charge). -horizon sets the per-home
 // deployment duration for such runs (it overrides -duration; the two
 // are aliases otherwise).
+//
+// -checkpoint FILE makes a sharded sweep resumable: the run
+// periodically writes its committed home prefix to FILE (atomically),
+// writes it once more on interrupt, and removes it on success. Running
+// the same configuration again with the same -checkpoint resumes from
+// the prefix and produces output bit-identical to an uninterrupted
+// run, at any -workers value. The file refuses to resume under a
+// different configuration. Composes with -scenario; incompatible with
+// -devices (lifecycle state lives outside the committed prefix).
 //
 // Observability is strictly out of band: -telemetry collects run
 // metrics (counters, histograms, phase spans, run manifest) without
@@ -49,7 +66,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -87,6 +103,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		devices  = fs.String("devices", "", "device-archetype shares enabling the lifecycle engine, e.g. temp=0.5,camera=0.3,jawbone=0.2")
 		horizon  = fs.Duration("horizon", 0, "deployment horizon per home (overrides -duration when set)")
 		exact    = fs.Bool("exact", false, "bypass the operating-point surface; solve every bin exactly")
+		coarse   = fs.Bool("coarse", false, "error-bounded coarse tier: event-simulate anchor bins, proxy the rest (decisions bit-identical, magnitudes within the certified ε)")
 		scenPath = fs.String("scenario", "", "run a declarative scenario JSON file instead of the configuration flags")
 		quiet    = fs.Bool("q", false, "suppress the timing line on stderr")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -95,6 +112,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		metrOut  = fs.String("metrics-out", "", "write run metrics to this file in Prometheus text format (implies -telemetry)")
 		metrAddr = fs.String("metrics-addr", "", "serve live /metrics and /debug/vars on this address (implies -telemetry)")
 		progress = fs.Bool("progress", false, "show a live progress line on stderr (interactive terminals only)")
+		ckptPath = fs.String("checkpoint", "", "periodically checkpoint the run to this file and resume from it if present; removed on success")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -120,7 +138,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "scenario", "format", "q", "cpuprofile", "memprofile",
-				"telemetry", "metrics-out", "metrics-addr", "progress":
+				"telemetry", "metrics-out", "metrics-addr", "progress", "checkpoint":
 			default:
 				conflicts = append(conflicts, "-"+f.Name)
 			}
@@ -146,6 +164,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			powifi.WithBinWidth(*bin),
 			powifi.WithWindow(*window),
 			powifi.WithExact(*exact),
+			powifi.WithCoarse(*coarse),
 		}
 		if *horizon != 0 {
 			*duration = *horizon
@@ -180,6 +199,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		prog = newProgressTicker(stderr, time.Now)
 		extra = append(extra, powifi.WithProgress(prog.update))
 	}
+	if *ckptPath != "" {
+		extra = append(extra, powifi.WithCheckpoint(*ckptPath))
+	}
 	if len(extra) > 0 {
 		var err error
 		if sc, err = sc.With(extra...); err != nil {
@@ -193,9 +215,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		srv := &http.Server{Handler: powifi.MetricsHandler(tel)}
-		go func() { _ = srv.Serve(ln) }()
-		defer srv.Close()
+		// Graceful teardown: an abrupt Close at exit would reset a
+		// /metrics scrape mid-response; ServeMetrics' shutdown lets an
+		// in-flight scrape finish under a short deadline.
+		defer powifi.ServeMetrics(ln, powifi.MetricsHandler(tel))()
 		if !*quiet {
 			fmt.Fprintf(stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
 		}

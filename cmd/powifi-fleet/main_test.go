@@ -11,6 +11,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	powifi "repro"
 )
@@ -332,5 +333,74 @@ func TestExactParity(t *testing.T) {
 	if d := math.Abs(surf.MeanUpdateRateHz - exact.MeanUpdateRateHz); d > math.Max(eps*exact.MeanUpdateRateHz, 1e-6) {
 		t.Errorf("mean rate diverged beyond ε: surface %v, exact %v Hz",
 			surf.MeanUpdateRateHz, exact.MeanUpdateRateHz)
+	}
+}
+
+// TestCheckpointResumeCLI is the end-to-end kill-and-resume drill: a
+// run with -checkpoint is interrupted partway (here by breaking out of
+// the SDK's Homes stream under the identical configuration, which
+// exercises the same abort-write path an interrupt signal does), then
+// the CLI is invoked again with the same flags. It must resume from
+// the file, emit stdout byte-identical to a never-interrupted run —
+// including at a different -workers value — and remove the checkpoint.
+func TestCheckpointResumeCLI(t *testing.T) {
+	code, want, errBuf := runCLI(t, tinyArgs("-format", "json"))
+	if code != 0 {
+		t.Fatalf("baseline exit %d: %s", code, errBuf.String())
+	}
+
+	// Interrupted leg: the same configuration tinyArgs describes, run
+	// through the SDK with an early break so a committed-prefix
+	// checkpoint is left on disk.
+	path := filepath.Join(t.TempDir(), "fleet.ckpt")
+	sc, err := powifi.NewScenario(
+		powifi.WithHomes(3), powifi.WithSeed(9), powifi.WithWorkers(2),
+		powifi.WithHorizon(2*time.Hour), powifi.WithBinWidth(30*time.Minute),
+		powifi.WithWindow(2*time.Millisecond), powifi.WithCheckpoint(path),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, err := range sc.Homes(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen++; seen == 1 {
+			break
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("interrupted run left no checkpoint: %v", err)
+	}
+
+	// Resume leg, at a different worker count.
+	code, out, errBuf := runCLI(t, tinyArgs("-format", "json", "-checkpoint", path, "-workers", "1"))
+	if code != 0 {
+		t.Fatalf("resume exit %d: %s", code, errBuf.String())
+	}
+	if !bytes.Equal(out.Bytes(), want.Bytes()) {
+		t.Error("resumed CLI output differs from uninterrupted run")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not removed after successful run (stat: %v)", err)
+	}
+
+	// -checkpoint composes with -scenario (execution state, like
+	// -telemetry), so a declarative sweep is resumable too.
+	scenFile := filepath.Join(t.TempDir(), "fleet.json")
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(scenFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, scenOut, errBuf := runCLI(t, []string{"-scenario", scenFile, "-checkpoint", path, "-format", "json", "-q"})
+	if code != 0 {
+		t.Fatalf("scenario+checkpoint exit %d: %s", code, errBuf.String())
+	}
+	if !bytes.Equal(scenOut.Bytes(), want.Bytes()) {
+		t.Error("scenario+checkpoint output differs from flag-built run")
 	}
 }

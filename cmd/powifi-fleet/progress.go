@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 )
@@ -46,7 +47,10 @@ func (p *progressTicker) update(done, total int) {
 	}
 	eta := "--"
 	if rate > 0 && done < total {
-		d := time.Duration(float64(total-done)/rate) * time.Second
+		// Round to the nearest whole second: a naive Duration(float64)
+		// conversion truncates toward zero, reporting "0s" with nearly a
+		// second of work left and biasing every ETA a full second low.
+		d := time.Duration(math.Round(float64(total-done)/rate)) * time.Second
 		eta = d.String()
 	}
 	// \r returns to column 0, ESC[K erases the previous (possibly

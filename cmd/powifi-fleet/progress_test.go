@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for the progress ticker: tests
+// advance it explicitly, so rate and ETA math is exact.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func lastLine(b *strings.Builder) (string, bool) {
+	// Repaints are \r-separated on one terminal row; the last segment
+	// is what the user currently sees.
+	parts := strings.Split(b.String(), "\r")
+	if len(parts) < 2 {
+		return "", false
+	}
+	return parts[len(parts)-1], true
+}
+
+// TestProgressETARounds pins the ETA fix: the remaining-time estimate
+// rounds to the nearest whole second instead of truncating toward
+// zero. At 0.6 homes/s with 4 homes left the true ETA is 6.67 s — the
+// old conversion printed "6s" (and printed "0s" with nearly a full
+// second of work remaining).
+func TestProgressETARounds(t *testing.T) {
+	var buf strings.Builder
+	clk := newFakeClock()
+	p := newProgressTicker(&buf, clk.now)
+
+	clk.advance(10 * time.Second)
+	p.update(6, 10)
+	line, ok := lastLine(&buf)
+	if !ok {
+		t.Fatal("no progress line written")
+	}
+	if !strings.Contains(line, "ETA 7s") {
+		t.Fatalf("ETA should round 6.67s up to 7s, got %q", line)
+	}
+
+	// 1.333 homes/s, 6 left → 4.5 s rounds to 5s (truncation said 4s).
+	buf.Reset()
+	clk2 := newFakeClock()
+	p2 := newProgressTicker(&buf, clk2.now)
+	clk2.advance(3 * time.Second)
+	p2.update(4, 10)
+	if line, _ := lastLine(&buf); !strings.Contains(line, "ETA 5s") {
+		t.Fatalf("ETA should round 4.5s to 5s, got %q", line)
+	}
+}
+
+// TestProgressThrottleAndFinish covers the repaint throttle (updates
+// inside progressInterval draw nothing new) and the finish erase.
+func TestProgressThrottleAndFinish(t *testing.T) {
+	var buf strings.Builder
+	clk := newFakeClock()
+	p := newProgressTicker(&buf, clk.now)
+
+	clk.advance(time.Second)
+	p.update(1, 4)
+	painted := buf.Len()
+	if painted == 0 {
+		t.Fatal("first update must paint")
+	}
+
+	clk.advance(progressInterval / 2)
+	p.update(2, 4)
+	if buf.Len() != painted {
+		t.Fatal("update inside the throttle interval must not repaint")
+	}
+
+	clk.advance(progressInterval)
+	p.update(3, 4)
+	if buf.Len() == painted {
+		t.Fatal("update past the throttle interval must repaint")
+	}
+
+	// The final home always repaints, even inside the interval.
+	p.update(4, 4)
+	line, _ := lastLine(&buf)
+	if !strings.Contains(line, "4/4") {
+		t.Fatalf("final update must repaint, got %q", line)
+	}
+
+	before := buf.String()
+	p.finish()
+	if erase := strings.TrimPrefix(buf.String(), before); erase != "\r\x1b[K" {
+		t.Fatalf("finish must erase the line, wrote %q", erase)
+	}
+	p.finish() // idempotent
+	if !strings.HasSuffix(buf.String(), "\r\x1b[K") {
+		t.Fatal("second finish must be a no-op")
+	}
+
+	var nilTicker *progressTicker
+	nilTicker.finish() // must not panic
+}

@@ -34,14 +34,26 @@
 // (unknown fields rejected, "schema": 1) and Scenario.MarshalJSON
 // emits it, which is what the CLIs' -scenario file.json flag runs.
 //
+// Fleet sweeps scale two ways. WithCoarse selects the error-bounded
+// coarse sampling tier: only anchor bins run the packet-level event
+// simulation, the rest are proxied with certified error — boot/silence
+// decisions stay bit-identical to the default tier, aggregate
+// magnitudes carry a documented ε. WithCheckpoint makes a long sweep
+// resumable: the run periodically writes its committed home prefix to
+// a file (atomically, removed on success), and re-running the same
+// configuration resumes from it with output bit-identical to an
+// uninterrupted run at any WithWorkers value.
+//
 // Fleet runs can collect telemetry — counters, histograms, phase spans
 // and a run manifest — strictly out of band: WithTelemetry attaches a
 // collector (the Report gains an additive "telemetry" section whose
 // work totals are bit-for-bit identical at any worker count),
-// WithMetricsSink writes the Prometheus text export on completion, and
-// MetricsHandler serves live /metrics and /debug/vars. Execution-state
-// options like these (and WithProgress) are excluded from the scenario
-// JSON; attach them to a loaded scenario with Scenario.With.
+// WithMetricsSink writes the Prometheus text export on completion,
+// MetricsHandler serves live /metrics and /debug/vars, and
+// ServeMetrics mounts that handler on a listener with graceful
+// shutdown. Execution-state options (WithTelemetry, WithProgress,
+// WithCheckpoint) are excluded from the scenario JSON; attach them to
+// a loaded scenario with Scenario.With.
 //
 // # Implementation
 //

@@ -348,6 +348,45 @@ func (d *TempSensorDevice) Evaluate(link PowerLink) (rateHz, netW float64) {
 	return d.Sensor.UpdateRate(netW), netW
 }
 
+// EvaluateBatch evaluates the sensor over a contiguous batch of
+// occupancy vectors sharing one link geometry — the struct-of-arrays
+// form of the fleet hot path. Solver selection, the surface handle and
+// the occupancy-independent RF budget (linkExpander's memo) are resolved
+// once per batch instead of once per bin, and the surface is driven
+// through a single lookup loop (EvaluateOutcome). Element i is
+// bit-identical to Evaluate(PoWiFiLinkOccupancy(distanceFt, occupancy[i]))
+// — the batched-vs-streamed parity suite pins this — and telemetry
+// counting follows Evaluate's contract exactly. rateHz and netW must be
+// at least len(occupancy) long.
+func (d *TempSensorDevice) EvaluateBatch(distanceFt float64, occupancy [][3]float64, rateHz, netW []float64) {
+	s := solverFor(d.Harvester, d.Exact, &d.surf)
+	surf, isSurf := s.(*surface.Surface)
+	for i := range occupancy {
+		chans, occ := d.exp.expand(PoWiFiLinkOccupancy(distanceFt, occupancy[i]))
+		if isSurf && d.Tele != nil {
+			w, boots, bootOut, opOut, opQueried := surf.EvaluateOutcome(chans, occ)
+			countOutcome(d.Tele, bootOut)
+			if opQueried {
+				countOutcome(d.Tele, opOut)
+			}
+			if !boots {
+				rateHz[i], netW[i] = 0, 0
+				continue
+			}
+			netW[i] = w
+			rateHz[i] = d.Sensor.UpdateRate(w)
+			continue
+		}
+		if !s.CanBootBursty(chans, occ) {
+			rateHz[i], netW[i] = 0, 0
+			continue
+		}
+		w := s.BurstyOperating(chans, occ).HarvestedW
+		netW[i] = w
+		rateHz[i] = d.Sensor.UpdateRate(w)
+	}
+}
+
 // CameraDevice is a complete Wi-Fi-powered camera (§5.2). Both camera
 // versions use the TI bq25570 chain; the battery-free version stores into
 // the AVX supercapacitor, the recharging version into a Li-Ion coin cell.

@@ -1,0 +1,180 @@
+package deploy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// TestRunBatchParity is the bit-for-bit contract of the batched kernel:
+// RunBatch's struct-of-arrays columns hold exactly the BinSamples the
+// streaming runner delivers — same packet-level samples, same surface
+// answers, identical floats in every field — across randomized homes,
+// placements and both solver tiers, on one pooled context interleaved
+// with streaming runs.
+func TestRunBatchParity(t *testing.T) {
+	rng := xrand.NewFromLabel(11, "batch/parity")
+	smp := NewSampler()
+	var b BinBatch
+	opts := Options{
+		BinWidth: 45 * time.Minute,
+		Window:   3 * time.Millisecond,
+		Hours:    3,
+	}
+	for trial := 0; trial < 12; trial++ {
+		cfg := randomHome(rng)
+		opts.SensorDistanceFt = rng.Uniform(4, 16)
+		opts.Exact = trial%3 == 0 // exercise the direct-solver tier too
+
+		var streamed []BinSample
+		smp.RunStream(cfg, opts, func(s BinSample) { streamed = append(streamed, s) })
+		if !smp.RunBatch(cfg, opts, &b, nil) {
+			t.Fatalf("trial %d: RunBatch reported early stop with nil gate", trial)
+		}
+
+		if b.Len() != len(streamed) {
+			t.Fatalf("trial %d: %d bins batched vs %d streamed", trial, b.Len(), len(streamed))
+		}
+		for i := range streamed {
+			if !b.Simulated[i] {
+				t.Fatalf("trial %d bin %d: exact-tier batch left bin unsimulated", trial, i)
+			}
+			if got := b.Sample(i); got != streamed[i] {
+				t.Fatalf("trial %d bin %d: batched sample diverged\nstreamed: %+v\nbatched:  %+v",
+					trial, i, streamed[i], got)
+			}
+		}
+	}
+}
+
+// TestRunBatchEarlyStop pins the cancellation contract: the gate is
+// consulted before every packet-level sample, and a false return
+// abandons the home without corrupting the pooled context.
+func TestRunBatchEarlyStop(t *testing.T) {
+	smp := NewSampler()
+	cfg := randomHome(xrand.NewFromLabel(3, "batch/stop"))
+	opts := Options{BinWidth: 30 * time.Minute, Window: 2 * time.Millisecond, Hours: 2, SensorDistanceFt: 9}
+
+	var b BinBatch
+	calls := 0
+	if smp.RunBatch(cfg, opts, &b, func(bin int) bool { calls++; return bin < 2 }) {
+		t.Fatal("RunBatch completed despite gate stop")
+	}
+	if calls != 3 {
+		t.Fatalf("gate consulted %d times, want 3 (bins 0, 1, then the refused 2)", calls)
+	}
+
+	// The pooled context must be fully reusable after an abandoned home.
+	var ref []BinSample
+	NewSampler().RunStream(cfg, opts, func(s BinSample) { ref = append(ref, s) })
+	if !smp.RunBatch(cfg, opts, &b, nil) {
+		t.Fatal("RunBatch failed after early stop")
+	}
+	for i := range ref {
+		if got := b.Sample(i); got != ref[i] {
+			t.Fatalf("bin %d after early stop: %+v want %+v", i, got, ref[i])
+		}
+	}
+}
+
+// TestRunBatchCoarseCertification is the coarse tier's contract, the
+// same empirical discipline the operating-point surface certifies with:
+// across randomized homes and placements, (1) the boot/silence decision
+// of every bin — the one discontinuous output — is bit-identical to
+// the exact tier, (2) per-bin magnitudes on anchor and escalated bins
+// are exact, (3) per-home aggregates (mean occupancy, mean banked
+// harvest) stay within the documented relative bound, (4) the pooled
+// population aggregate — what a fleet sweep actually consumes — is
+// unbiased to well under the per-home bound, and (5) the tier actually
+// skips event work on a meaningful share of bins.
+//
+// The certification runs at the fleet's default 10ms measurement
+// window. The proxy is a regression over measured anchors, so its ε
+// scales with the anchors' own measurement noise; shorter windows
+// quantize occupancy coarsely enough (a 2ms window fits only a handful
+// of frames) that no per-home bound this tight can hold. CoarseOptions
+// documents the window dependence.
+func TestRunBatchCoarseCertification(t *testing.T) {
+	rng := xrand.NewFromLabel(23, "coarse/cert")
+	smp := NewSampler()
+	var exact, coarse BinBatch
+	opts := Options{
+		BinWidth: 20 * time.Minute,
+		Window:   10 * time.Millisecond,
+		Hours:    8,
+	}
+	simulated, total := 0, 0
+	var poolOccE, poolOccC, poolUWE, poolUWC float64
+	for trial := 0; trial < 16; trial++ {
+		cfg := randomHome(rng)
+		// Span the full placement range: near homes never threaten the
+		// boot threshold, far homes sit under it, mid-range homes are
+		// the escalation stress case.
+		opts.SensorDistanceFt = rng.Uniform(4, 16)
+
+		if !smp.RunBatch(cfg, opts, &exact, nil) || !smp.RunBatchCoarse(cfg, opts, CoarseOptions{}, &coarse, nil) {
+			t.Fatalf("trial %d: runner stopped unexpectedly", trial)
+		}
+		if exact.Len() != coarse.Len() {
+			t.Fatalf("trial %d: bin counts differ: %d vs %d", trial, exact.Len(), coarse.Len())
+		}
+
+		var sumOccE, sumOccC, sumUWE, sumUWC float64
+		for i := 0; i < exact.Len(); i++ {
+			e, c := exact.Sample(i), coarse.Sample(i)
+			if (e.SensorRate > 0) != (c.SensorRate > 0) {
+				t.Fatalf("trial %d bin %d: boot decision flipped (exact rate %v, coarse rate %v, simulated %v)",
+					trial, i, e.SensorRate, c.SensorRate, coarse.Simulated[i])
+			}
+			if coarse.Simulated[i] {
+				if e != c {
+					t.Fatalf("trial %d bin %d: simulated coarse bin diverged from exact\nexact:  %+v\ncoarse: %+v",
+						trial, i, e, c)
+				}
+				simulated++
+			}
+			total++
+			sumOccE += e.CumulativePct
+			sumOccC += c.CumulativePct
+			sumUWE += e.BankedHarvestUW()
+			sumUWC += c.BankedHarvestUW()
+		}
+		n := float64(exact.Len())
+		if relErr(sumOccC/n, sumOccE/n) > 0.10 {
+			t.Fatalf("trial %d: mean occupancy off by >10%%: coarse %.3f vs exact %.3f",
+				trial, sumOccC/n, sumOccE/n)
+		}
+		if relErr(sumUWC/n, sumUWE/n) > 0.15 {
+			t.Fatalf("trial %d: mean banked harvest off by >15%%: coarse %.3f vs exact %.3f µW",
+				trial, sumUWC/n, sumUWE/n)
+		}
+		poolOccE += sumOccE
+		poolOccC += sumOccC
+		poolUWE += sumUWE
+		poolUWC += sumUWC
+	}
+	// The per-home errors must pool down, not compound: fleet summaries
+	// average over the population, so the tier's bias is the bound that
+	// matters at scale.
+	if relErr(poolOccC, poolOccE) > 0.03 {
+		t.Fatalf("pooled mean occupancy biased by >3%%: coarse %.3f vs exact %.3f", poolOccC, poolOccE)
+	}
+	if relErr(poolUWC, poolUWE) > 0.03 {
+		t.Fatalf("pooled mean banked harvest biased by >3%%: coarse %.3f vs exact %.3f µW", poolUWC, poolUWE)
+	}
+	if frac := float64(simulated) / float64(total); frac > 0.55 {
+		t.Fatalf("coarse tier simulated %.0f%% of bins; escalation has eaten the tier", 100*frac)
+	}
+}
+
+// relErr returns |got-want| relative to want, with an absolute floor so
+// near-zero means (far placements harvest nothing) compare sanely.
+func relErr(got, want float64) float64 {
+	denom := math.Abs(want)
+	if denom < 1e-9 {
+		denom = 1e-9
+	}
+	return math.Abs(got-want) / denom
+}

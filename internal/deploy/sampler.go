@@ -70,6 +70,43 @@ type Sampler struct {
 	// lastActiveBg[i] counts the contenders on channel i that ran last
 	// bin, so the per-bin reset touches only stations with state.
 	lastActiveBg [3]int
+
+	// plan holds the pooled struct-of-arrays bin plan (hours and offered
+	// loads) the current home's bins are driven from; see planBins.
+	plan binPlan
+
+	// escBuf is the pooled escalation work list of the coarse tier.
+	escBuf []int
+}
+
+// binPlan is the struct-of-arrays form of one home's per-bin drive: the
+// local hour and the offered client/neighbor loads for every logging
+// bin, drawn up front in one pass. Planning is pure home-stream
+// randomness — the packet-level sampler never touches the home RNG — so
+// hoisting the draws out of the bin loop preserves the exact draw order
+// of the historical interleaved form.
+type binPlan struct {
+	hour         []float64
+	clientLoad   []float64
+	neighborLoad [][3]float64
+}
+
+func (p *binPlan) reset(n int) {
+	p.hour = resize(p.hour, n)
+	p.clientLoad = resize(p.clientLoad, n)
+	if cap(p.neighborLoad) < n {
+		p.neighborLoad = make([][3]float64, n)
+	}
+	p.neighborLoad = p.neighborLoad[:n]
+}
+
+// resize returns a length-n float slice, reusing s's backing array when
+// it is large enough.
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // NewSampler builds a pooled sampling context. Construction mirrors the
@@ -178,6 +215,44 @@ func (smp *Sampler) Bins(cfg HomeConfig, opts Options) iter.Seq[BinSample] {
 // bin is simulated.
 func (smp *Sampler) runStream(cfg HomeConfig, opts Options, visit func(BinSample) bool) {
 	nBins := opts.NumBins()
+	smp.planBins(cfg, opts, nBins)
+
+	smp.sensor.Exact = opts.Exact
+	for i := range smp.monitors {
+		smp.monitors[i].BinWidth = opts.Window
+	}
+
+	for bin := 0; bin < nBins; bin++ {
+		occ := smp.sampleBin(cfg.Seed*1_000_003+uint64(bin),
+			smp.plan.clientLoad[bin], smp.plan.neighborLoad[bin], opts.Window)
+		cum := 0.0
+		for _, v := range occ {
+			cum += v * 100
+		}
+
+		link := core.PoWiFiLinkOccupancy(opts.SensorDistanceFt, occ)
+		rate, netW := smp.sensor.Evaluate(link)
+		smp.tele.Bin()
+		if !visit(BinSample{
+			Bin:           bin,
+			HourOfDay:     smp.plan.hour[bin],
+			Occupancy:     occ,
+			CumulativePct: cum,
+			SensorRate:    rate,
+			NetHarvestedW: netW,
+		}) {
+			return
+		}
+	}
+}
+
+// planBins draws the home's full bin plan into smp.plan: the per-home
+// channel weights and AP assignment, then every bin's offered loads, in
+// exactly the order the historical per-bin interleaved loop drew them.
+// sampleBin never touches the home RNG (it reseeds the packet-level
+// streams from the bin seed), so planning up front consumes the home
+// stream identically and the simulated bins are bit-for-bit unchanged.
+func (smp *Sampler) planBins(cfg HomeConfig, opts Options, nBins int) {
 	rng := smp.homeRng
 	rng.ReseedFromLabel(cfg.Seed, "home")
 
@@ -206,20 +281,18 @@ func (smp *Sampler) runStream(cfg HomeConfig, opts Options, visit func(BinSample
 		}
 	}
 
-	smp.sensor.Exact = opts.Exact
-	for i := range smp.monitors {
-		smp.monitors[i].BinWidth = opts.Window
-	}
-
+	smp.plan.reset(nBins)
 	for bin := 0; bin < nBins; bin++ {
 		hour := math.Mod(float64(cfg.StartHour)+float64(bin)*opts.BinWidth.Hours(), 24)
 		act := activity(hour, cfg.Weekend)
+		smp.plan.hour[bin] = hour
 
 		// Per-bin offered loads.
 		clientLoad := (0.02 + 0.45*act) * float64(cfg.Devices) / 6.0
 		if clientLoad > 0.6 {
 			clientLoad = 0.6
 		}
+		smp.plan.clientLoad[bin] = clientLoad
 		var neighborLoad [3]float64
 		// Iterate channels in fixed order so the RNG draws stay
 		// deterministic.
@@ -237,26 +310,7 @@ func (smp *Sampler) runStream(cfg HomeConfig, opts Options, visit func(BinSample
 			}
 			neighborLoad[j] = l
 		}
-
-		occ := smp.sampleBin(cfg.Seed*1_000_003+uint64(bin), clientLoad, neighborLoad, opts.Window)
-		cum := 0.0
-		for _, v := range occ {
-			cum += v * 100
-		}
-
-		link := core.PoWiFiLinkOccupancy(opts.SensorDistanceFt, occ)
-		rate, netW := smp.sensor.Evaluate(link)
-		smp.tele.Bin()
-		if !visit(BinSample{
-			Bin:           bin,
-			HourOfDay:     hour,
-			Occupancy:     occ,
-			CumulativePct: cum,
-			SensorRate:    rate,
-			NetHarvestedW: netW,
-		}) {
-			return
-		}
+		smp.plan.neighborLoad[bin] = neighborLoad
 	}
 }
 

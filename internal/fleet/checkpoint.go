@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// CheckpointSchema identifies the checkpoint file format version. A
+// mismatch fails loudly: resuming through a format change could fold
+// state into the wrong aggregates and silently corrupt the run.
+const CheckpointSchema = 1
+
+// defaultCheckpointEvery is the periodic write cadence in committed
+// homes. A checkpoint is a few tens of kilobytes, so the default keeps
+// write amplification negligible even on million-home sweeps while
+// bounding lost work to a few seconds of simulation.
+const defaultCheckpointEvery = 4096
+
+// Checkpoint configures checkpoint/resume for a fleet run (attach via
+// Hooks.Checkpoint). The reducer — which folds homes strictly in
+// home-index order — periodically serializes its complete state: the
+// next home index and every aggregate the committed prefix [0, next)
+// has produced. Because per-home randomness derives from (seed, index)
+// and the reducer is the single commit point, resuming from a
+// checkpoint and re-running the remaining homes yields output
+// bit-identical to an uninterrupted run at any worker count.
+//
+// On RunWith entry, if Path exists it must be a checkpoint of the same
+// configuration (fingerprint-checked, worker count excluded); the run
+// then resumes from its committed prefix, and the Progress/Home hooks
+// fire only for the homes actually simulated this session. On
+// successful completion the file is removed. On cancellation or a Home
+// hook stop, the committed prefix is written before RunWith returns.
+//
+// Checkpointing rejects device-lifecycle populations: the lifecycle
+// engine's pooled per-bin ledgers accumulate on the workers, not the
+// reducer, so a committed home prefix would not capture them.
+type Checkpoint struct {
+	// Path is the checkpoint file. Writes are atomic (temp file +
+	// rename), so a crash mid-write leaves the previous checkpoint
+	// intact.
+	Path string
+	// Every is the number of committed homes between periodic writes;
+	// <= 0 selects the default (4096). The terminal write on
+	// cancellation or hook stop happens regardless.
+	Every int
+}
+
+// checkpointFile is the serialized reducer state. Sketches round-trip
+// bit-exactly through their JSON form (integer counts, shortest-round-
+// trip floats), and Welford accumulators are three exact scalars, so a
+// loaded checkpoint restores the reducer to the identical float state.
+type checkpointFile struct {
+	Schema     int    `json:"schema"`
+	ConfigHash string `json:"config_hash"`
+	Homes      int    `json:"homes"`
+	// Next is the first home index not yet committed: aggregates below
+	// describe exactly homes [0, Next).
+	Next int `json:"next"`
+
+	SilentBins uint64 `json:"silent_bins"`
+	TotalBins  uint64 `json:"total_bins"`
+
+	CumOcc      *stats.Sketch    `json:"cum_occ"`
+	ChOcc       [3]*stats.Sketch `json:"ch_occ"`
+	HomeHarvest *stats.Sketch    `json:"home_harvest"`
+	BinOcc      *stats.Sketch    `json:"bin_occ"`
+	Harvest     *stats.Sketch    `json:"harvest"`
+	Latency     *stats.Sketch    `json:"latency"`
+
+	OccW     stats.Welford `json:"occ_w"`
+	HarvestW stats.Welford `json:"harvest_w"`
+	RateW    stats.Welford `json:"rate_w"`
+}
+
+// checkpointHash fingerprints everything that determines a run's
+// output. Workers is zeroed: parallelism never affects results, so a
+// checkpoint taken at -workers 8 resumes correctly at -workers 1.
+func checkpointHash(cfg Config) string {
+	cfg.Workers = 0
+	return telemetry.HashConfig(cfg)
+}
+
+// writeCheckpoint atomically serializes the reducer state: homes
+// [0, next) are committed into res.
+func writeCheckpoint(ck *Checkpoint, cfg Config, res *Result, next int) error {
+	cf := checkpointFile{
+		Schema:     CheckpointSchema,
+		ConfigHash: checkpointHash(cfg),
+		Homes:      cfg.Homes,
+		Next:       next,
+		SilentBins: res.SilentBins,
+		TotalBins:  res.TotalBins,
+		CumOcc:     res.CumOcc,
+		ChOcc:      res.ChOcc,
+		HomeHarvest: res.HomeHarvest,
+		BinOcc:     res.BinOcc,
+		Harvest:    res.Harvest,
+		Latency:    res.Latency,
+		OccW:       res.OccW,
+		HarvestW:   res.HarvestW,
+		RateW:      res.RateW,
+	}
+	data, err := json.Marshal(cf)
+	if err != nil {
+		return fmt.Errorf("fleet: serializing checkpoint: %w", err)
+	}
+	tmp := ck.Path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("fleet: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, ck.Path); err != nil {
+		return fmt.Errorf("fleet: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint restores the reducer state from ck.Path into res and
+// returns the next home index to simulate. A missing file is not an
+// error — the run simply starts from home 0. Anything else that
+// prevents a faithful resume (schema or configuration mismatch, out-
+// of-range prefix, corrupt aggregates) is: silently restarting would
+// discard exactly the work the caller asked to keep.
+func loadCheckpoint(ck *Checkpoint, cfg Config, res *Result) (next int, err error) {
+	data, err := os.ReadFile(ck.Path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("fleet: reading checkpoint: %w", err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return 0, fmt.Errorf("fleet: parsing checkpoint %s: %w", filepath.Base(ck.Path), err)
+	}
+	if cf.Schema != CheckpointSchema {
+		return 0, fmt.Errorf("fleet: checkpoint %s has schema %d (this build reads schema %d)",
+			filepath.Base(ck.Path), cf.Schema, CheckpointSchema)
+	}
+	if want := checkpointHash(cfg); cf.ConfigHash != want {
+		return 0, fmt.Errorf("fleet: checkpoint %s was taken under a different configuration (hash %s, this run %s)",
+			filepath.Base(ck.Path), cf.ConfigHash, want)
+	}
+	if cf.Next < 0 || cf.Next > cf.Homes || cf.Homes != cfg.Homes {
+		return 0, fmt.Errorf("fleet: checkpoint %s has inconsistent prefix (next %d of %d homes, run has %d)",
+			filepath.Base(ck.Path), cf.Next, cf.Homes, cfg.Homes)
+	}
+	// Restore through TryMerge-style validation: each sketch must match
+	// the resolution newResult built, so a truncated or hand-edited file
+	// cannot slip mismatched aggregates into the run.
+	restore := func(dst, src *stats.Sketch, name string) error {
+		if src == nil {
+			return fmt.Errorf("fleet: checkpoint %s is missing the %s aggregate", filepath.Base(ck.Path), name)
+		}
+		if err := dst.TryMerge(src); err != nil {
+			return fmt.Errorf("fleet: checkpoint %s: %s: %w", filepath.Base(ck.Path), name, err)
+		}
+		return nil
+	}
+	if err := restore(res.CumOcc, cf.CumOcc, "cum_occ"); err != nil {
+		return 0, err
+	}
+	for i := range res.ChOcc {
+		if err := restore(res.ChOcc[i], cf.ChOcc[i], "ch_occ"); err != nil {
+			return 0, err
+		}
+	}
+	if err := restore(res.HomeHarvest, cf.HomeHarvest, "home_harvest"); err != nil {
+		return 0, err
+	}
+	if err := restore(res.BinOcc, cf.BinOcc, "bin_occ"); err != nil {
+		return 0, err
+	}
+	if err := restore(res.Harvest, cf.Harvest, "harvest"); err != nil {
+		return 0, err
+	}
+	if err := restore(res.Latency, cf.Latency, "latency"); err != nil {
+		return 0, err
+	}
+	res.SilentBins = cf.SilentBins
+	res.TotalBins = cf.TotalBins
+	res.OccW = cf.OccW
+	res.HarvestW = cf.HarvestW
+	res.RateW = cf.RateW
+	return cf.Next, nil
+}

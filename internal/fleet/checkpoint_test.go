@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lifecycle"
+)
+
+// summaryJSON renders a result's serialized form for byte comparison.
+func summaryJSON(t *testing.T, r *Result) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestCheckpointResumeBitIdentical is the resume contract: a run
+// stopped after k homes and resumed from its checkpoint serializes
+// byte-identically to an uninterrupted run — for several interrupt
+// points, with the stop and the resume at different worker counts in
+// both directions.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	baseline, err := Run(context.Background(), testConfig(12, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := summaryJSON(t, baseline)
+
+	for _, tc := range []struct {
+		stopAfter                  int
+		stopWorkers, resumeWorkers int
+	}{
+		{1, 1, 8},
+		{5, 8, 1},
+		{7, 8, 8},
+		{11, 1, 1},
+	} {
+		path := filepath.Join(t.TempDir(), "fleet.ckpt")
+		ck := &Checkpoint{Path: path, Every: 3}
+
+		// Interrupted leg: the Home hook stops the run after stopAfter
+		// homes; RunWith writes the committed prefix and reports
+		// ErrStopped with no result.
+		seen := 0
+		cfg := testConfig(12, tc.stopWorkers)
+		res, err := RunWith(context.Background(), cfg, Hooks{
+			Checkpoint: ck,
+			Home: func(HomeRecord) bool {
+				seen++
+				return seen < tc.stopAfter
+			},
+		})
+		if !errors.Is(err, ErrStopped) || res != nil {
+			t.Fatalf("stop after %d: got (%v, %v), want ErrStopped", tc.stopAfter, res, err)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("stop after %d: no checkpoint written: %v", tc.stopAfter, err)
+		}
+
+		// Resume leg, at a different worker count.
+		cfg = testConfig(12, tc.resumeWorkers)
+		resumed, err := RunWith(context.Background(), cfg, Hooks{Checkpoint: ck})
+		if err != nil {
+			t.Fatalf("resume after %d: %v", tc.stopAfter, err)
+		}
+		if got := summaryJSON(t, resumed); !bytes.Equal(got, want) {
+			t.Errorf("stop@%d workers %d->%d: resumed output differs from uninterrupted run",
+				tc.stopAfter, tc.stopWorkers, tc.resumeWorkers)
+		}
+		if resumed.OccW != baseline.OccW || resumed.HarvestW != baseline.HarvestW || resumed.RateW != baseline.RateW {
+			t.Errorf("stop@%d: resumed Welford moments differ from uninterrupted run", tc.stopAfter)
+		}
+		// A completed run removes its resume point.
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("stop@%d: checkpoint not removed after successful completion (stat: %v)", tc.stopAfter, err)
+		}
+	}
+}
+
+// TestCheckpointCancelWritesPrefix exercises the context-cancellation
+// abort path: whatever contiguous prefix the reducer had committed at
+// cancel time is checkpointed, and resuming completes the run
+// bit-identically.
+func TestCheckpointCancelWritesPrefix(t *testing.T) {
+	baseline, err := Run(context.Background(), testConfig(12, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := summaryJSON(t, baseline)
+
+	path := filepath.Join(t.TempDir(), "fleet.ckpt")
+	ck := &Checkpoint{Path: path, Every: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := 0
+	_, err = RunWith(ctx, testConfig(12, 4), Hooks{
+		Checkpoint: ck,
+		Progress: func(d, total int) {
+			done = d
+			if d == 5 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if done < 5 {
+		t.Fatalf("cancel fired after %d homes, want >= 5", done)
+	}
+	resumed, err := RunWith(context.Background(), testConfig(12, 2), Hooks{Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := summaryJSON(t, resumed); !bytes.Equal(got, want) {
+		t.Error("resume after cancellation differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointConfigMismatch pins the refusal contract: a checkpoint
+// resumes only under the configuration that produced it (worker count
+// excluded), never silently restarting or folding into the wrong run.
+func TestCheckpointConfigMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.ckpt")
+	ck := &Checkpoint{Path: path}
+	seen := 0
+	_, err := RunWith(context.Background(), testConfig(12, 2), Hooks{
+		Checkpoint: ck,
+		Home:       func(HomeRecord) bool { seen++; return seen < 4 },
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatal(err)
+	}
+	cfg := testConfig(12, 2)
+	cfg.Seed = 999 // different run, same home count
+	if _, err := RunWith(context.Background(), cfg, Hooks{Checkpoint: ck}); err == nil {
+		t.Fatal("checkpoint of a different configuration accepted")
+	} else if !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("unexpected mismatch error: %v", err)
+	}
+	// Corrupt file: must fail loudly, not resume garbage.
+	if err := os.WriteFile(path, []byte(`{"schema":1,"config`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWith(context.Background(), testConfig(12, 2), Hooks{Checkpoint: ck}); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+// TestCheckpointRejectsLifecycle pins the population restriction: the
+// lifecycle engine's pooled ledgers live on the workers, outside the
+// reducer's committed prefix, so checkpointing such a run would resume
+// with silently missing lifecycle state.
+func TestCheckpointRejectsLifecycle(t *testing.T) {
+	cfg := testConfig(4, 1)
+	cfg.Population.Devices = lifecycle.Mix{lifecycle.TempSensor: 1}
+	ck := &Checkpoint{Path: filepath.Join(t.TempDir(), "fleet.ckpt")}
+	if _, err := RunWith(context.Background(), cfg, Hooks{Checkpoint: ck}); err == nil {
+		t.Fatal("checkpoint + lifecycle population accepted")
+	} else if !strings.Contains(err.Error(), "lifecycle") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -115,6 +115,17 @@ type Config struct {
 	// and stays within its certified ε of the exact solver; -exact exists
 	// to validate that claim on real fleet runs.
 	Exact bool
+	// Coarse selects the error-bounded coarse sampling tier
+	// (deploy.RunBatchCoarse): only anchor bins run the packet-level
+	// event simulation, the bins between are proxied from the home's
+	// exact offered-load plan, and any bin whose boot/silence decision
+	// is not provably stable escalates back to the event simulation.
+	// Boot decisions stay bit-identical to the exact tier; aggregate
+	// magnitudes carry the certified ε (see deploy.CoarseOptions).
+	// Incompatible with a device-lifecycle population: the lifecycle
+	// ledger integrates per-bin magnitudes over time, which would
+	// compound the proxy ε outside its certified bound.
+	Coarse bool
 }
 
 // DefaultConfig returns a 1000-home, 24-hour fleet run.
@@ -183,6 +194,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if err := p.Devices.Validate(); err != nil {
 		return c, fmt.Errorf("fleet: %v", err)
+	}
+	if c.Coarse && p.Lifecycle() {
+		return c, fmt.Errorf("fleet: the coarse tier cannot run a device-lifecycle population (the ledger integrates per-bin magnitudes, compounding the proxy ε)")
 	}
 	return c, nil
 }

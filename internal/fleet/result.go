@@ -29,9 +29,13 @@ const (
 	cdfCurvePts = 24
 )
 
-// homeStats is the fixed-size scalar summary a worker emits per home.
-// These flow through the reorder buffer and are folded into the fleet
-// aggregates in home-index order.
+// homeStats is the summary a worker emits per home: the scalar means,
+// plus the home's per-bin fold inputs as plain columns. These flow
+// through the reorder buffer and are folded into the fleet aggregates
+// in home-index order — including the per-bin sketch adds, so the
+// reducing goroutine owns every aggregate except the lifecycle arch
+// partials and a checkpoint of the committed home prefix is a complete
+// snapshot of the run's state.
 type homeStats struct {
 	idx           int
 	home          Home
@@ -39,6 +43,9 @@ type homeStats struct {
 	meanChPct     [3]float64
 	meanHarvestUW float64
 	meanRate      float64
+	// Per-bin columns (one backing array, sliced three ways): cumulative
+	// occupancy %, banked harvest µW, and sensor rate Hz per bin.
+	binCum, binUW, binRate []float64
 	// life carries the home's device-lifecycle scalars when the
 	// population enables the engine (hasLife); the classic aggregates
 	// above are produced either way.
@@ -46,26 +53,17 @@ type homeStats struct {
 	life    lifeHomeStats
 }
 
-// partial holds one worker's pooled per-bin aggregates. Every field
-// merges exactly (integer counts and exact extremes), so worker count
-// and scheduling cannot change the merged result.
+// partial holds the worker-side pooled aggregates that do not ride
+// homeStats: the per-bin lifecycle ledger observations, which land in
+// exactly mergeable sketches per archetype (allocated only when the
+// population enables the engine). Everything else folds on the
+// reducing goroutine.
 type partial struct {
-	binOcc     *stats.Sketch
-	harvest    *stats.Sketch
-	latency    *stats.Sketch
-	silentBins uint64
-	totalBins  uint64
-	// arch holds the pooled per-bin lifecycle aggregates per archetype,
-	// allocated only when the population enables the engine.
 	arch *[lifecycle.NumKinds]archPartial
 }
 
 func newPartial(cfg Config) *partial {
-	p := &partial{
-		binOcc:  stats.NewSketch(0, occHiPct, occBins),
-		harvest: stats.NewSketch(0, harvestHiUW, harvestBins),
-		latency: stats.NewSketch(0, latencyHiS, latencyBins),
-	}
+	p := &partial{}
 	if cfg.Population.Lifecycle() {
 		p.arch = newArchPartials()
 	}
@@ -121,10 +119,23 @@ func newResult(cfg Config) *Result {
 	return r
 }
 
-// addHome folds one home's summary into the population aggregates.
-// Callers must invoke it in home-index order for bit-for-bit
-// reproducibility of the Welford moments.
+// addHome folds one home into the aggregates: the per-bin columns into
+// the pooled sketches, the scalar summary into the population
+// distributions. Callers must invoke it in home-index order for
+// bit-for-bit reproducibility of the Welford moments; it is the single
+// commit point, so a run's reducer state after k calls depends only on
+// homes [0, k).
 func (r *Result) addHome(hs homeStats) {
+	for i := range hs.binCum {
+		r.TotalBins++
+		r.BinOcc.Add(hs.binCum[i])
+		r.Harvest.Add(hs.binUW[i])
+		if rate := hs.binRate[i]; rate > 0 {
+			r.Latency.Add(1 / rate)
+		} else {
+			r.SilentBins++
+		}
+	}
 	r.CumOcc.Add(hs.meanCumPct)
 	for i := range r.ChOcc {
 		r.ChOcc[i].Add(hs.meanChPct[i])
@@ -138,13 +149,9 @@ func (r *Result) addHome(hs homeStats) {
 	}
 }
 
-// mergePartial folds one worker's pooled aggregates into the result.
+// mergePartial folds one worker's pooled lifecycle aggregates into the
+// result (a no-op for classic populations).
 func (r *Result) mergePartial(p *partial) {
-	r.BinOcc.Merge(p.binOcc)
-	r.Harvest.Merge(p.harvest)
-	r.Latency.Merge(p.latency)
-	r.SilentBins += p.silentBins
-	r.TotalBins += p.totalBins
 	if p.arch != nil && r.Arch != nil {
 		for i := range p.arch {
 			r.Arch[i].mergePooled(&p.arch[i])

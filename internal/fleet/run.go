@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"errors"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -59,6 +60,12 @@ type Hooks struct {
 	// byte-identical with or without it, and its work-counter totals
 	// are bit-for-bit identical at any worker count.
 	Telemetry *telemetry.Run
+	// Checkpoint, if non-nil, enables checkpoint/resume for the run:
+	// the reducer's committed home prefix is periodically serialized to
+	// Checkpoint.Path, an existing checkpoint of the same configuration
+	// is resumed from, and the resumed output is bit-identical to an
+	// uninterrupted run at any worker count. See Checkpoint.
+	Checkpoint *Checkpoint
 }
 
 // worker is one shard's pooled per-worker state: the sampling context,
@@ -74,6 +81,9 @@ type worker struct {
 	p        *partial
 	probe    *telemetry.Probe
 	devs     [lifecycle.NumKinds]*lifecycle.Device
+	// batch is the worker's reusable struct-of-arrays bin buffer; the
+	// batched kernel refills it per home without reallocating.
+	batch deploy.BinBatch
 }
 
 func newWorker(cfg Config, p *partial, probe *telemetry.Probe) *worker {
@@ -151,6 +161,36 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	}
 	res := newResult(cfg)
 
+	// Checkpoint/resume setup: restore the reducer's committed prefix
+	// from an existing checkpoint (homes [0, start) are already folded
+	// into res) and derive the periodic write cadence.
+	ck := h.Checkpoint
+	start := 0
+	ckEvery := defaultCheckpointEvery
+	if ck != nil {
+		if ck.Path == "" {
+			return nil, errors.New("fleet: Checkpoint requires a non-empty Path")
+		}
+		if cfg.Population.Lifecycle() {
+			return nil, errors.New("fleet: checkpointing cannot run a device-lifecycle population (the workers' pooled ledgers are not part of the committed home prefix)")
+		}
+		if ck.Every > 0 {
+			ckEvery = ck.Every
+		}
+		var err error
+		if start, err = loadCheckpoint(ck, cfg, res); err != nil {
+			return nil, err
+		}
+	}
+	// saveOnAbort writes the committed prefix when the run stops early;
+	// with checkpointing off it is a no-op.
+	saveOnAbort := func(next int) error {
+		if ck == nil {
+			return nil
+		}
+		return writeCheckpoint(ck, cfg, res, next)
+	}
+
 	// Telemetry setup. When enabled, the operating-point surfaces the
 	// run will query are built up front under their own span — the build
 	// is deterministic and process-cached, so warming changes no output,
@@ -187,7 +227,9 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 			ElapsedS:   elapsed,
 		}
 		if elapsed > 0 {
-			m.HomesPerSec = float64(cfg.Homes) / elapsed
+			// Throughput counts homes simulated this session: a resumed
+			// run only paid for the tail after its checkpoint.
+			m.HomesPerSec = float64(cfg.Homes-start) / elapsed
 			t.Gauge(telemetry.GaugeBinsPerSec).Set(float64(res.TotalBins) / elapsed)
 		}
 		t.SetManifest(m)
@@ -200,15 +242,28 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	}
 
 	// deliver folds one home into the result and feeds the hooks; it
-	// reports whether the run should continue.
+	// reports whether the run should continue. With checkpointing on,
+	// the committed prefix is written every ckEvery homes and on a Home
+	// hook stop, always after the fold — the checkpoint describes
+	// exactly the homes the reducer has committed.
 	deliver := func(hs homeStats) (bool, error) {
 		res.addHome(hs)
 		homesC.Inc()
+		committed := hs.idx + 1
 		if h.Home != nil && !h.Home(hs.record()) {
-			return false, ErrStopped
+			err := ErrStopped
+			if werr := saveOnAbort(committed); werr != nil {
+				err = errors.Join(err, werr)
+			}
+			return false, err
+		}
+		if ck != nil && committed < cfg.Homes && (committed-start)%ckEvery == 0 {
+			if err := writeCheckpoint(ck, cfg, res, committed); err != nil {
+				return false, err
+			}
 		}
 		if h.Progress != nil {
-			h.Progress(hs.idx+1, cfg.Homes)
+			h.Progress(committed, cfg.Homes)
 		}
 		return true, nil
 	}
@@ -216,22 +271,22 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	// Serial fast path: with one worker there is no sharding to
 	// coordinate, and the channel/goroutine handoffs per home are pure
 	// overhead (meaningful on single-core hosts). The reduce order is
-	// trivially home-index order, and the pooled per-bin aggregates can
-	// fold straight into the result's sketches — integer-count adds are
-	// exactly what a worker-sketch-then-merge computes — so the output
-	// is identical to the sharded path by construction.
+	// trivially home-index order and deliver folds each home straight
+	// into the result, so the output is identical to the sharded path by
+	// construction.
 	if cfg.Workers == 1 {
-		p := &partial{binOcc: res.BinOcc, harvest: res.Harvest, latency: res.Latency}
-		if cfg.Population.Lifecycle() {
-			p.arch = newArchPartials()
-		}
+		p := newPartial(cfg)
 		endSim := t.Span(telemetry.SpanSimulate)
 		w := newWorker(cfg, p, t.NewProbe())
-		for i := 0; i < cfg.Homes; i++ {
+		for i := start; i < cfg.Homes; i++ {
 			hs, ok := w.runHome(ctx, i)
 			if !ok {
 				w.release()
-				return nil, ctx.Err()
+				err := ctx.Err()
+				if werr := saveOnAbort(i); werr != nil {
+					err = errors.Join(err, werr)
+				}
+				return nil, err
 			}
 			if cont, err := deliver(hs); !cont {
 				w.release()
@@ -241,15 +296,12 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 		w.release()
 		endSim()
 		endReduce := t.Span(telemetry.SpanReduce)
-		res.SilentBins += p.silentBins
-		res.TotalBins += p.totalBins
-		if p.arch != nil {
-			for i := range p.arch {
-				res.Arch[i].mergePooled(&p.arch[i])
-			}
-		}
+		res.mergePartial(p)
 		endReduce()
 		finish()
+		if ck != nil {
+			_ = os.Remove(ck.Path) // a completed run needs no resume point
+		}
 		return res, nil
 	}
 
@@ -290,7 +342,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	}
 	go func() {
 		defer close(jobs)
-		for i := 0; i < cfg.Homes; i++ {
+		for i := start; i < cfg.Homes; i++ {
 			select {
 			case jobs <- i:
 			case <-ctx.Done():
@@ -307,7 +359,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	// Out-of-order completions park in a buffer whose size stays near
 	// the worker count because homes have comparable cost.
 	pending := make(map[int]homeStats, cfg.Workers)
-	next := 0
+	next := start
 	var stopErr error
 	for m := range out {
 		if stopErr != nil || ctx.Err() != nil {
@@ -330,29 +382,41 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	}
 	endSim()
 	if stopErr != nil {
-		return nil, stopErr
+		return nil, stopErr // deliver already wrote the stop checkpoint
 	}
 	if err := ctx.Err(); err != nil {
+		// The reorder buffer's parked homes beyond `next` are discarded:
+		// the checkpoint must describe a contiguous committed prefix.
+		if werr := saveOnAbort(next); werr != nil {
+			err = errors.Join(err, werr)
+		}
 		return nil, err
 	}
-	// Pooled per-bin aggregates merge exactly regardless of how homes
-	// were grouped onto workers; worker order is fixed only for clarity.
+	// Pooled per-bin lifecycle aggregates merge exactly regardless of
+	// how homes were grouped onto workers; worker order is fixed only
+	// for clarity.
 	endReduce := t.Span(telemetry.SpanReduce)
 	for _, p := range partials {
 		res.mergePartial(p)
 	}
 	endReduce()
 	finish()
+	if ck != nil {
+		_ = os.Remove(ck.Path) // a completed run needs no resume point
+	}
 	return res, nil
 }
 
 // runHome simulates one synthesized home on the worker's pooled
-// sampler, streaming its bins into the worker's pooled partial (and,
-// in lifecycle mode, through the home's pooled lifecycle device) and
-// returning the home's scalar summary. The context is checked once per
-// logging bin; on cancellation the home is abandoned mid-stream and
-// runHome reports ok == false (its partial fold is discarded along
-// with the whole run).
+// sampler through the batched kernel: the home's bins land in the
+// worker's reusable struct-of-arrays buffer (deploy.RunBatch, or
+// RunBatchCoarse on the coarse tier), the scalar summary and the
+// per-bin fold columns are derived in one pass over the finished
+// batch, and — in lifecycle mode — the pooled lifecycle device walks
+// the batch in bin order. The context is checked once per event-
+// simulated bin; on cancellation the home is abandoned mid-batch and
+// runHome reports ok == false (its fold is discarded along with the
+// whole run).
 func (w *worker) runHome(ctx context.Context, idx int) (hs homeStats, ok bool) {
 	cfg := w.cfg
 	h := synthesizeHome(w.synthRng, cfg, idx)
@@ -368,60 +432,65 @@ func (w *worker) runHome(ctx context.Context, idx int) (hs homeStats, ok bool) {
 		SensorDistanceFt: h.SensorFt,
 		Exact:            cfg.Exact,
 	}
+	b := &w.batch
+	gate := func(int) bool { return ctx.Err() == nil }
+	var done bool
+	if cfg.Coarse {
+		done = w.smp.RunBatchCoarse(h.HomeConfig, opts, deploy.CoarseOptions{}, b, gate)
+	} else {
+		done = w.smp.RunBatch(h.HomeConfig, opts, b, gate)
+	}
+	if !done {
+		return homeStats{}, false
+	}
+	nBins := b.Len()
+	if nBins == 0 {
+		return homeStats{idx: idx, home: h}, true
+	}
+
+	// One backing array, sliced into the three per-bin fold columns that
+	// ride the reorder buffer to the reducer.
+	cols := make([]float64, 3*nBins)
+	hs = homeStats{
+		idx:     idx,
+		home:    h,
+		binCum:  cols[:nBins:nBins],
+		binUW:   cols[nBins : 2*nBins : 2*nBins],
+		binRate: cols[2*nBins:],
+	}
 	var (
-		nBins                       int
 		sumCum, sumHarvest, sumRate float64
 		sumCh                       [3]float64
-		cancelled                   bool
+		silent                      uint64
 	)
-	p := w.p
-	silent0 := p.silentBins
-	w.smp.StreamBins(h.HomeConfig, opts, func(s deploy.BinSample) bool {
-		if ctx.Err() != nil {
-			cancelled = true
-			return false
-		}
-		nBins++
+	for i := 0; i < nBins; i++ {
+		s := b.Sample(i)
 		sumCum += s.CumulativePct
-		for i := range sumCh {
-			sumCh[i] += s.Occupancy[i] * 100
+		for c := range sumCh {
+			sumCh[c] += s.Occupancy[c] * 100
 		}
 		// A silent bin banks nothing; BankedHarvestUW owns the clamp
 		// convention shared with the facade's single-home report.
 		uw := s.BankedHarvestUW()
 		sumHarvest += uw
 		sumRate += s.SensorRate
-
-		p.totalBins++
-		p.binOcc.Add(s.CumulativePct)
-		p.harvest.Add(uw)
-		if s.SensorRate > 0 {
-			p.latency.Add(1 / s.SensorRate)
-		} else {
-			p.silentBins++
+		if s.SensorRate <= 0 {
+			silent++
 		}
-		if dev != nil {
-			dev.VisitBin(s)
-		}
-		return true
-	})
-	if cancelled {
-		return homeStats{}, false
+		hs.binCum[i] = s.CumulativePct
+		hs.binUW[i] = uw
+		hs.binRate[i] = s.SensorRate
 	}
-	if nBins == 0 {
-		return homeStats{idx: idx, home: h}, true
+	if dev != nil {
+		dev.VisitBatch(b)
 	}
 	n := float64(nBins)
-	hs = homeStats{
-		idx:           idx,
-		home:          h,
-		meanCumPct:    sumCum / n,
-		meanHarvestUW: sumHarvest / n,
-		meanRate:      sumRate / n,
-	}
+	hs.meanCumPct = sumCum / n
+	hs.meanHarvestUW = sumHarvest / n
+	hs.meanRate = sumRate / n
 	// Telemetry: silent bins fold into the shared counter, the home's
 	// mean harvest into this worker's private sketch shard.
-	w.probe.ObserveHome(uint64(p.silentBins-silent0), hs.meanHarvestUW)
+	w.probe.ObserveHome(silent, hs.meanHarvestUW)
 	for i := range sumCh {
 		hs.meanChPct[i] = sumCh[i] / n
 	}

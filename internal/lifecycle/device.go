@@ -354,6 +354,18 @@ func (d *Device) VisitBin(s deploy.BinSample) {
 	}
 }
 
+// VisitBatch advances the ledger over a finished batch of bins — the
+// batched fleet kernel's ledger stage. The per-bin state threading is
+// inherently sequential (each bin's storage state feeds the next), so
+// the batch form walks the struct-of-arrays columns in order; it visits
+// exactly the bins VisitBin would and leaves identical state, metrics
+// and OnBin observations.
+func (d *Device) VisitBatch(b *deploy.BinBatch) {
+	for i, n := 0, b.Len(); i < n; i++ {
+		d.VisitBin(b.Sample(i))
+	}
+}
+
 // chainLink assembles the bin's power link for the bq25570-backed
 // archetypes: the standard PoWiFi router at the home's sensor
 // placement under this bin's measured occupancy.

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The degenerate-input contract, pinned directly: sketches whose mass
+// all fell outside [Lo, Hi) — which the coarse tier's subsampled
+// sketches make reachable — follow an exact-extremes convention, and
+// empty sketches return NaN for order statistics, 0 for moments, and
+// nil for CDF points.
+
+func TestSketchEmptySemantics(t *testing.T) {
+	s := NewSketch(0, 10, 8)
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Errorf("empty Min/Max = %v/%v, want NaN/NaN", s.Min(), s.Max())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := s.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("empty Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+	if m := s.Mean(); m != 0 {
+		t.Errorf("empty Mean = %v, want 0", m)
+	}
+	if sd := s.StdDev(); sd != 0 {
+		t.Errorf("empty StdDev = %v, want 0", sd)
+	}
+	if pts := s.Points(16); pts != nil {
+		t.Errorf("empty Points(16) = %v, want nil", pts)
+	}
+	if pts := s.Points(0); pts != nil {
+		t.Errorf("Points(0) = %v, want nil", pts)
+	}
+}
+
+func TestSketchAllUnderflow(t *testing.T) {
+	s := NewSketch(10, 20, 4)
+	for _, x := range []float64{1, 3, 7} {
+		s.Add(x)
+	}
+	if u, o := s.OutOfRange(); u != 3 || o != 0 {
+		t.Fatalf("OutOfRange = %d,%d, want 3,0", u, o)
+	}
+	// Every rank sits inside the underflow mass: quantiles collapse to
+	// the exact minimum, except q=1 which is always the exact maximum.
+	for _, q := range []float64{0, 0.25, 0.5, 0.99} {
+		if v := s.Quantile(q); v != 1 {
+			t.Errorf("all-under Quantile(%v) = %v, want exact min 1", q, v)
+		}
+	}
+	if v := s.Quantile(1); v != 7 {
+		t.Errorf("all-under Quantile(1) = %v, want exact max 7", v)
+	}
+	// No in-range detail: Mean is the extreme blend (all mass on min),
+	// StdDev is the one-sided degenerate 0.
+	if m := s.Mean(); m != 1 {
+		t.Errorf("all-under Mean = %v, want 1", m)
+	}
+	if sd := s.StdDev(); sd != 0 {
+		t.Errorf("all-under StdDev = %v, want 0", sd)
+	}
+	// The CDF still closes at (Max, 1).
+	pts := s.Points(8)
+	if len(pts) == 0 {
+		t.Fatal("all-under Points is empty")
+	}
+	last := pts[len(pts)-1]
+	if last.X != 7 || last.Y != 1 {
+		t.Errorf("all-under Points ends at (%v,%v), want (7,1)", last.X, last.Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Fatalf("all-under Points not monotone: %v", pts)
+		}
+	}
+}
+
+func TestSketchAllOverflow(t *testing.T) {
+	s := NewSketch(0, 1, 4)
+	for _, x := range []float64{5, 9, 2} {
+		s.Add(x)
+	}
+	if u, o := s.OutOfRange(); u != 0 || o != 3 {
+		t.Fatalf("OutOfRange = %d,%d, want 0,3", u, o)
+	}
+	// No underflow and no in-range counts: every rank falls through to
+	// the exact maximum (q=0 is always the exact minimum).
+	if v := s.Quantile(0); v != 2 {
+		t.Errorf("all-over Quantile(0) = %v, want exact min 2", v)
+	}
+	for _, q := range []float64{0.25, 0.5, 1} {
+		if v := s.Quantile(q); v != 9 {
+			t.Errorf("all-over Quantile(%v) = %v, want exact max 9", q, v)
+		}
+	}
+	if m := s.Mean(); m != 9 {
+		t.Errorf("all-over Mean = %v, want 9", m)
+	}
+	if sd := s.StdDev(); sd != 0 {
+		t.Errorf("all-over StdDev = %v, want 0", sd)
+	}
+	pts := s.Points(8)
+	if len(pts) != 1 || pts[0].X != 9 || pts[0].Y != 1 {
+		t.Errorf("all-over Points = %v, want [(9,1)]", pts)
+	}
+}
+
+func TestSketchSplitOutOfRange(t *testing.T) {
+	// Mass on both sides, nothing in range: the two-point {Min, Max}
+	// distribution. 3 unders at exact min 2, 2 overs at exact max 40.
+	s := NewSketch(10, 20, 5)
+	for _, x := range []float64{2, 3, 5, 30, 40} {
+		s.Add(x)
+	}
+	// Ranks inside the underflow mass (q*(n-1) < 3) return Min; past
+	// it, Max.
+	if v := s.Quantile(0.5); v != 2 { // rank 2 < 3
+		t.Errorf("split Quantile(0.5) = %v, want 2", v)
+	}
+	if v := s.Quantile(0.8); v != 40 { // rank 3.2 >= 3
+		t.Errorf("split Quantile(0.8) = %v, want 40", v)
+	}
+	if m, want := s.Mean(), (3*2.0+2*40.0)/5; m != want {
+		t.Errorf("split Mean = %v, want %v", m, want)
+	}
+	if sd := s.StdDev(); sd <= 0 {
+		t.Errorf("split StdDev = %v, want > 0 (two-point spread)", sd)
+	}
+}

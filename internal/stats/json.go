@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// sketchJSON is the wire form of a Sketch. Every field of the live
+// struct round-trips: Go's float64 JSON encoding is shortest-round-trip
+// exact, and the counts are plain integers, so an unmarshaled sketch is
+// bit-identical to the one marshaled — the property the fleet's
+// checkpoint/resume machinery rests on.
+type sketchJSON struct {
+	Lo     float64  `json:"lo"`
+	Hi     float64  `json:"hi"`
+	Counts []uint64 `json:"counts"`
+	Under  uint64   `json:"under"`
+	Over   uint64   `json:"over"`
+	Min    float64  `json:"min"`
+	Max    float64  `json:"max"`
+	N      uint64   `json:"n"`
+}
+
+// MarshalJSON serializes the sketch's complete state, including the
+// unexported out-of-range counters and exact extremes.
+func (s *Sketch) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sketchJSON{
+		Lo: s.Lo, Hi: s.Hi, Counts: s.Counts,
+		Under: s.under, Over: s.over,
+		Min: s.minV, Max: s.maxV, N: s.n,
+	})
+}
+
+// UnmarshalJSON restores a sketch marshaled by MarshalJSON, validating
+// that the state is one a sequence of Adds could have produced: sane
+// bounds, and a sample count consistent with the bin and out-of-range
+// counters. A corrupt or hand-edited checkpoint must fail loudly here,
+// not poison every derived quantile downstream.
+func (s *Sketch) UnmarshalJSON(data []byte) error {
+	var sj sketchJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return err
+	}
+	if sj.Hi <= sj.Lo || len(sj.Counts) == 0 {
+		return fmt.Errorf("stats: sketch JSON has invalid bounds [%v,%v) with %d bins",
+			sj.Lo, sj.Hi, len(sj.Counts))
+	}
+	var inRange uint64
+	for _, c := range sj.Counts {
+		inRange += c
+	}
+	if total := inRange + sj.Under + sj.Over; total != sj.N {
+		return fmt.Errorf("stats: sketch JSON claims n=%d but its counters sum to %d", sj.N, total)
+	}
+	if sj.N > 0 && sj.Min > sj.Max {
+		return fmt.Errorf("stats: sketch JSON has min %v > max %v", sj.Min, sj.Max)
+	}
+	*s = Sketch{
+		Lo: sj.Lo, Hi: sj.Hi, Counts: sj.Counts,
+		under: sj.Under, over: sj.Over,
+		minV: sj.Min, maxV: sj.Max, n: sj.N,
+	}
+	return nil
+}

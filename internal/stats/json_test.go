@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSketchJSONRoundTrip pins the property checkpoint/resume rests
+// on: a sketch restored from its JSON form is bit-identical to the
+// original, including the unexported out-of-range counters and exact
+// extremes, across populated, empty, and all-out-of-range states.
+func TestSketchJSONRoundTrip(t *testing.T) {
+	populated := NewSketch(0, 10, 20)
+	for _, v := range []float64{-3, 0.25, 1.5, 1.5, 7.875, 9.999, 12, 40} {
+		populated.Add(v)
+	}
+	empty := NewSketch(0, 1, 4)
+	outOfRange := NewSketch(0, 1, 4)
+	outOfRange.Add(-5)
+	outOfRange.Add(99)
+
+	for name, src := range map[string]*Sketch{
+		"populated":        populated,
+		"empty":            empty,
+		"all-out-of-range": outOfRange,
+	} {
+		data, err := json.Marshal(src)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var got Sketch
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if !reflect.DeepEqual(&got, src) {
+			t.Errorf("%s: round trip altered the sketch: got %+v, want %+v", name, got, *src)
+		}
+	}
+}
+
+// TestSketchJSONRejectsCorruption: a checkpoint that no Add sequence
+// could have produced must fail at load, not poison quantiles later.
+func TestSketchJSONRejectsCorruption(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, want string
+	}{
+		{"inverted bounds", `{"lo":5,"hi":1,"counts":[0],"n":0}`, "invalid bounds"},
+		{"no bins", `{"lo":0,"hi":1,"counts":[],"n":0}`, "invalid bounds"},
+		{"counter mismatch", `{"lo":0,"hi":1,"counts":[2,1],"under":1,"over":0,"min":0.1,"max":0.9,"n":3}`, "counters sum"},
+		{"min above max", `{"lo":0,"hi":1,"counts":[2],"min":0.9,"max":0.1,"n":2}`, "min"},
+	} {
+		var s Sketch
+		err := json.Unmarshal([]byte(tc.in), &s)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

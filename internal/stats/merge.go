@@ -220,6 +220,13 @@ func (s *Sketch) binWidth() float64 { return (s.Hi - s.Lo) / float64(len(s.Count
 // interpolated within the containing bin and clamped to the exact
 // observed extremes. Accuracy is bounded by the bin width. Returns NaN
 // for an empty sketch.
+//
+// Degenerate inputs follow an exact-extremes convention: when no
+// sample landed in range (all mass in the underflow/overflow
+// counters, as a badly-bounded or coarse-tier subsampled sketch can
+// produce), the sketch has no shape information, so ranks inside the
+// underflow mass return Min and everything past it returns Max — never
+// NaN, and never a fabricated in-range value.
 func (s *Sketch) Quantile(q float64) float64 {
 	if s.n == 0 {
 		return math.NaN()
@@ -258,6 +265,9 @@ func (s *Sketch) Quantile(q float64) float64 {
 
 // Mean returns the sketch's approximate mean: bin midpoints weighted by
 // count, with out-of-range samples contributing the exact extremes.
+// An empty sketch returns 0 (not NaN — aggregate report rows render
+// zeros, not NaNs, for absent populations). With zero in-range counts
+// the mean is the count-weighted blend of the two exact extremes.
 func (s *Sketch) Mean() float64 {
 	if s.n == 0 {
 		return 0
@@ -275,7 +285,10 @@ func (s *Sketch) Mean() float64 {
 
 // StdDev returns the approximate standard deviation from bin midpoints
 // weighted by count, with out-of-range samples contributing the exact
-// extremes. Accuracy is bounded by the bin width.
+// extremes. Accuracy is bounded by the bin width. Fewer than two
+// samples return 0. With zero in-range counts the spread degenerates
+// to the two-point {Min, Max} distribution — in particular 0 when all
+// mass fell on one side, because the per-side detail was never kept.
 func (s *Sketch) StdDev() float64 {
 	if s.n < 2 {
 		return 0
@@ -295,7 +308,11 @@ func (s *Sketch) StdDev() float64 {
 
 // Points returns up to n (value, cumulative-fraction) points of the
 // empirical CDF, ending at (Max, 1). Non-empty bins map to their upper
-// edge; the sequence is monotone in both coordinates.
+// edge; the sequence is monotone in both coordinates. An empty sketch
+// (or n <= 0) returns nil — callers plot nothing rather than a
+// degenerate curve. A sketch whose samples all fell below Lo still
+// ends at (Max, 1): the underflow mass is pinned at (Min, fraction)
+// and the curve closes at the exact maximum.
 func (s *Sketch) Points(n int) []Point {
 	if s.n == 0 || n <= 0 {
 		return nil
@@ -317,7 +334,9 @@ func (s *Sketch) Points(n int) []Point {
 		}
 		pts = append(pts, Point{X: x, Y: float64(cum) / float64(s.n)})
 	}
-	if len(pts) == 0 || pts[len(pts)-1].Y < 1 {
+	if len(pts) == 0 || pts[len(pts)-1].Y < 1 || pts[len(pts)-1].X < s.maxV {
+		// The X check closes the all-underflow curve: its single pinned
+		// point (Min, 1) already has Y = 1 but is not the maximum.
 		pts = append(pts, Point{X: s.maxV, Y: 1})
 	}
 	if len(pts) <= n {

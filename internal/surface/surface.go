@@ -584,3 +584,20 @@ func (s *Surface) Evaluate(chans []harvester.ChannelPower, occupancy []float64) 
 	}
 	return s.BurstyOperating(chans, occupancy).HarvestedW, true
 }
+
+// EvaluateOutcome is the batch kernel's per-bin entry point: the boot
+// check and (when it passes) the operating solve in one call, with both
+// query outcomes reported for telemetry. The answers are produced by the
+// exact same internal queries as CanBootBurstyOutcome followed by
+// BurstyOperatingOutcome, so a loop over EvaluateOutcome is bit-identical
+// to the two-call form bin for bin. opQueried reports whether the
+// operating solve ran at all — a chain that cannot boot short-circuits
+// with (0, false) and only the boot outcome is meaningful.
+func (s *Surface) EvaluateOutcome(chans []harvester.ChannelPower, occupancy []float64) (netW float64, boots bool, bootOut, opOut Outcome, opQueried bool) {
+	boots, bootOut = s.CanBootBurstyOutcome(chans, occupancy)
+	if !boots {
+		return 0, false, bootOut, OutcomeHit, false
+	}
+	op, opOut := s.BurstyOperatingOutcome(chans, occupancy)
+	return op.HarvestedW, true, bootOut, opOut, true
+}

@@ -53,6 +53,7 @@ type Scenario struct {
 	binWidth   time.Duration
 	window     time.Duration
 	exact      bool
+	coarse     bool
 	population FleetPopulation
 	devices    DeviceMix
 	home       HomeConfig
@@ -62,6 +63,7 @@ type Scenario struct {
 	progress   func(done, total int)
 	telemetry  *Telemetry
 	metricsTo  io.Writer
+	checkpoint string
 }
 
 // optSet tracks which options a scenario carries, so zero values the
@@ -77,6 +79,7 @@ const (
 	optBinWidth
 	optWindow
 	optExact
+	optCoarse
 	optPopulation
 	optDevices
 	optHome
@@ -86,6 +89,7 @@ const (
 	optProgress
 	optTelemetry
 	optMetricsSink
+	optCheckpoint
 )
 
 // Option configures a Scenario under construction.
@@ -113,7 +117,7 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 
 // With derives a new scenario from s with additional options applied —
 // the escape hatch for attaching execution state (WithProgress,
-// WithTelemetry, WithMetricsSink) to a scenario loaded from its JSON
+// WithTelemetry, WithMetricsSink, WithCheckpoint) to a scenario loaded from its JSON
 // form, which deliberately cannot carry it. The receiver is never
 // modified; the derived scenario is re-validated as a whole.
 func (s *Scenario) With(opts ...Option) (*Scenario, error) {
@@ -175,6 +179,20 @@ func WithWindow(d time.Duration) Option {
 // validating the surface's ε guarantee).
 func WithExact(exact bool) Option {
 	return func(s *Scenario) error { s.exact, s.set = exact, s.set|optExact; return nil }
+}
+
+// WithCoarse selects the fleet's error-bounded coarse sampling tier:
+// only anchor bins run the packet-level event simulation, the bins
+// between are proxied from each home's exact offered-load plan, and
+// any bin whose boot/silence decision is not provably stable escalates
+// back to the event simulation. Boot/silence decisions stay
+// bit-identical to the default exact tier; aggregate magnitudes carry
+// the tier's certified ε (documented on the engine's CoarseOptions).
+// Fleet-only, and incompatible with WithDevices: the lifecycle ledger
+// integrates per-bin magnitudes over time, which would compound the
+// proxy ε outside its certified bound.
+func WithCoarse(coarse bool) Option {
+	return func(s *Scenario) error { s.coarse, s.set = coarse, s.set|optCoarse; return nil }
 }
 
 // WithPopulation sets the household distributions a fleet's homes are
@@ -258,6 +276,27 @@ func WithProgress(fn func(done, total int)) Option {
 	}
 }
 
+// WithCheckpoint makes a fleet run resumable: the run periodically
+// writes its committed home prefix to path (atomically — a crash mid-
+// write leaves the previous checkpoint intact), writes it once more on
+// cancellation, and removes the file on successful completion. A
+// subsequent Run with the same scenario and path resumes from the
+// prefix and produces output bit-identical to an uninterrupted run, at
+// any WithWorkers value. The file refuses to resume under a different
+// configuration, and checkpointing is incompatible with WithDevices
+// (the lifecycle ledgers live outside the committed prefix). Like
+// WithProgress, a checkpoint path is execution state, not
+// configuration: it is excluded from the scenario's JSON form.
+func WithCheckpoint(path string) Option {
+	return func(s *Scenario) error {
+		if path == "" {
+			return errors.New("powifi: empty checkpoint path")
+		}
+		s.checkpoint, s.set = path, s.set|optCheckpoint
+		return nil
+	}
+}
+
 // validate checks that the applied options describe exactly one mode.
 func (s *Scenario) validate() error {
 	switch {
@@ -274,6 +313,12 @@ func (s *Scenario) validate() error {
 		}
 		if s.set&(optTelemetry|optMetricsSink) != 0 {
 			return errors.New("powifi: WithTelemetry/WithMetricsSink apply only to fleet scenarios")
+		}
+		if s.set&optCoarse != 0 {
+			return errors.New("powifi: WithCoarse applies only to fleet scenarios (the coarse tier proxies across a population's bins)")
+		}
+		if s.set&optCheckpoint != 0 {
+			return errors.New("powifi: WithCheckpoint applies only to fleet scenarios (single homes simulate in well under a second)")
 		}
 	default:
 		if s.set&optSensor != 0 {
@@ -347,7 +392,17 @@ func (s *Scenario) fleetConfig() fleet.Config {
 		cfg.Population.Devices = s.devices
 	}
 	cfg.Exact = s.exact
+	cfg.Coarse = s.coarse
 	return cfg
+}
+
+// fleetCheckpoint translates the WithCheckpoint path into the engine's
+// checkpoint descriptor (nil when the option is absent).
+func (s *Scenario) fleetCheckpoint() *fleet.Checkpoint {
+	if s.set&optCheckpoint == 0 {
+		return nil
+	}
+	return &fleet.Checkpoint{Path: s.checkpoint}
 }
 
 func (s *Scenario) runFleet(ctx context.Context) (*Report, error) {
@@ -356,7 +411,7 @@ func (s *Scenario) runFleet(ctx context.Context) (*Report, error) {
 		// A sink without an explicit collector still needs one to write.
 		t = NewTelemetry()
 	}
-	res, err := fleet.RunWith(ctx, s.fleetConfig(), fleet.Hooks{Progress: s.progress, Telemetry: t})
+	res, err := fleet.RunWith(ctx, s.fleetConfig(), fleet.Hooks{Progress: s.progress, Telemetry: t, Checkpoint: s.fleetCheckpoint()})
 	if err != nil {
 		return nil, err
 	}
@@ -575,7 +630,8 @@ func (s *Scenario) Homes(ctx context.Context) iter.Seq2[HomeRecord, error] {
 		}
 		stopped := false
 		_, err := fleet.RunWith(ctx, s.fleetConfig(), fleet.Hooks{
-			Progress: s.progress,
+			Progress:   s.progress,
+			Checkpoint: s.fleetCheckpoint(),
 			Home: func(r fleet.HomeRecord) bool {
 				if !yield(r, nil) {
 					stopped = true

@@ -28,6 +28,7 @@ type scenarioJSON struct {
 	BinWidth   string           `json:"bin,omitempty"`
 	Window     string           `json:"window,omitempty"`
 	Exact      *bool            `json:"exact,omitempty"`
+	Coarse     *bool            `json:"coarse,omitempty"`
 	Population *FleetPopulation `json:"population,omitempty"`
 	Devices    *DeviceMix       `json:"devices,omitempty"`
 	Home       *HomeConfig      `json:"home,omitempty"`
@@ -61,6 +62,9 @@ func (s *Scenario) MarshalJSON() ([]byte, error) {
 	}
 	if s.set&optExact != 0 {
 		sj.Exact = &s.exact
+	}
+	if s.set&optCoarse != 0 {
+		sj.Coarse = &s.coarse
 	}
 	if s.set&optPopulation != 0 {
 		p := s.population
@@ -139,6 +143,9 @@ func LoadScenario(data []byte) (*Scenario, error) {
 	}
 	if sj.Exact != nil {
 		opts = append(opts, WithExact(*sj.Exact))
+	}
+	if sj.Coarse != nil {
+		opts = append(opts, WithCoarse(*sj.Coarse))
 	}
 	if sj.Population != nil {
 		opts = append(opts, WithPopulation(*sj.Population))

@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -81,6 +83,11 @@ func TestScenarioOptionConflicts(t *testing.T) {
 		{"empty experiment", []powifi.Option{powifi.WithExperiment("")}, "empty experiment"},
 		{"nil progress", []powifi.Option{powifi.WithProgress(nil)}, "nil progress"},
 		{"zero device mix", []powifi.Option{powifi.WithDevices(powifi.DeviceMix{})}, "positive share"},
+		{"home+coarse", []powifi.Option{powifi.WithHome(powifi.PaperHomes()[0]), powifi.WithCoarse(true)}, "only to fleet"},
+		{"experiment+coarse", []powifi.Option{powifi.WithExperiment("fig9"), powifi.WithCoarse(true)}, "accepts only"},
+		{"home+checkpoint", []powifi.Option{powifi.WithHome(powifi.PaperHomes()[0]), powifi.WithCheckpoint("x.ckpt")}, "only to fleet"},
+		{"experiment+checkpoint", []powifi.Option{powifi.WithExperiment("fig9"), powifi.WithCheckpoint("x.ckpt")}, "accepts only"},
+		{"empty checkpoint", []powifi.Option{powifi.WithCheckpoint("")}, "empty checkpoint"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -123,6 +130,10 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 		powifi.WithHorizon(36*time.Hour), powifi.WithBinWidth(20*time.Minute),
 		powifi.WithWindow(5*time.Millisecond), powifi.WithExact(false),
 		powifi.WithPopulation(pop), powifi.WithDevices(mix))
+	build("fleet-coarse",
+		powifi.WithHomes(7), powifi.WithCoarse(true))
+	build("fleet-coarse-zero",
+		powifi.WithHomes(7), powifi.WithCoarse(false)) // explicit zero survives
 	build("home-all",
 		powifi.WithHome(home), powifi.WithSensorDistance(7.5),
 		powifi.WithSeed(11), powifi.WithHorizon(90*time.Minute),
@@ -405,6 +416,62 @@ func TestScenarioHomeDevices(t *testing.T) {
 	}
 	if _, err := json.Marshal(rep); err != nil {
 		t.Errorf("lifecycle report not JSON-safe: %v", err)
+	}
+}
+
+// TestScenarioCheckpointResume pins the SDK surface of checkpoint/
+// resume: a run interrupted by breaking out of Homes leaves a
+// checkpoint behind, a subsequent Run with the same scenario resumes
+// from it and reports byte-identically to an uninterrupted run, and
+// the completed run removes the file.
+func TestScenarioCheckpointResume(t *testing.T) {
+	baseline, err := tinyFleet(t, powifi.WithHomes(6)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "fleet.ckpt")
+	sc := tinyFleet(t, powifi.WithHomes(6), powifi.WithCheckpoint(path))
+	seen := 0
+	for _, err := range sc.Homes(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen++; seen == 2 {
+			break
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("interrupted Homes left no checkpoint: %v", err)
+	}
+
+	resumed, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("resumed report differs from uninterrupted run")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not removed after completion (stat: %v)", err)
+	}
+
+	// The checkpoint path is execution state: the scenario's JSON form
+	// must not carry it.
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "ckpt") {
+		t.Errorf("scenario JSON leaked the checkpoint path: %s", data)
 	}
 }
 

@@ -1,9 +1,12 @@
 package powifi
 
 import (
+	"context"
 	"errors"
 	"io"
+	"net"
 	"net/http"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -85,3 +88,28 @@ func WithMetricsSink(w io.Writer) Option {
 // are taken per request, so a handler mounted before Run serves live
 // mid-run metrics — what the CLIs' -metrics-addr flag mounts.
 func MetricsHandler(t *Telemetry) http.Handler { return t.Handler() }
+
+// metricsShutdownTimeout bounds how long ServeMetrics' shutdown waits
+// for in-flight scrapes: long enough for any real exporter read, short
+// enough that a wedged client cannot hold the process open.
+const metricsShutdownTimeout = 2 * time.Second
+
+// ServeMetrics serves h (normally MetricsHandler) on ln from a
+// background goroutine and returns a function that shuts the server
+// down gracefully: new connections stop being accepted immediately,
+// but a scrape already in flight is allowed to finish, bounded by a
+// short deadline (an abrupt Close would reset a scraper mid-response
+// at process exit — exactly when the final metrics matter most). The
+// returned function is what the CLIs defer for their -metrics-addr
+// listeners.
+func ServeMetrics(ln net.Listener, h http.Handler) (shutdown func()) {
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), metricsShutdownTimeout)
+		defer cancel()
+		if srv.Shutdown(ctx) != nil {
+			srv.Close() // deadline passed; force the stragglers
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strconv"
@@ -243,5 +245,67 @@ func TestScenarioWithDerivesWithoutMutating(t *testing.T) {
 	}
 	if _, err := home.With(powifi.WithTelemetry(tel)); err == nil {
 		t.Error("With accepted a telemetry option on a home scenario")
+	}
+}
+
+// TestServeMetricsDrainsInflightScrape pins the graceful-teardown
+// contract of ServeMetrics: a /metrics scrape that is already being
+// served when shutdown begins receives its complete response, while
+// shutdown itself refuses new connections. The handler blocks on a
+// channel so the test controls exactly when the in-flight request is
+// mid-response — no timing sleeps.
+func TestServeMetricsDrainsInflightScrape(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		io.WriteString(w, "scrape-body")
+	})
+	shutdown := powifi.ServeMetrics(ln, h)
+
+	type scrape struct {
+		body string
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- scrape{body: string(b), err: err}
+	}()
+
+	<-started // the scrape is in flight, handler mid-request
+	done := make(chan struct{})
+	go func() { shutdown(); close(done) }()
+
+	select {
+	case <-done:
+		t.Fatal("shutdown returned while a scrape was still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(release) // let the handler finish its response
+	s := <-got
+	if s.err != nil {
+		t.Fatalf("in-flight scrape must complete across shutdown: %v", s.err)
+	}
+	if s.body != "scrape-body" {
+		t.Fatalf("in-flight scrape body = %q, want %q", s.body, "scrape-body")
+	}
+	<-done // shutdown returns once the scrape drained
+
+	// The listener is closed: new scrapes are refused.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/metrics"); err == nil {
+		t.Fatal("scrape after shutdown should fail")
 	}
 }
