@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	powifi "repro"
+)
+
+// TestExitCodes pins the command's documented exit-code contract:
+// 0 success, 1 runtime error, 2 usage error, 3 partial result.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string // substring expected on stderr ("" = none required)
+	}{
+		{"success", tinyArgs(), 0, ""},
+		{"usage: unknown flag", []string{"-bogus"}, 2, "flag provided but not defined"},
+		{"usage: bad format", tinyArgs("-format", "xml"), 2, "unknown format"},
+		{"runtime: missing scenario file", []string{"-scenario", "no/such/file.json", "-q"}, 1, "no such file"},
+		{"runtime: injected home failure", tinyArgs("-faults", "home.panic@1"), 1, "home 1 (fleet/home/1) failed after 1 attempt(s)"},
+		{"partial: deadline", tinyArgs("-deadline", "1ns"), 3, "partial result (deadline)"},
+		{"partial: failure budget",
+			tinyArgs("-skip-failed", "-max-failed", "1",
+				"-faults", "home.panic@0,times=-1;home.panic@1,times=-1"),
+			3, "partial result (failure_budget)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errBuf := runCLI(t, tc.args)
+			if code != tc.code {
+				t.Fatalf("exit code %d, want %d (stderr: %s)", code, tc.code, errBuf.String())
+			}
+			if tc.stderr != "" && !strings.Contains(errBuf.String(), tc.stderr) {
+				t.Errorf("stderr %q missing %q", errBuf.String(), tc.stderr)
+			}
+		})
+	}
+}
+
+// TestPartialReportWritten pins that exit code 3 still writes a full
+// report for the committed prefix — a partial result is a result, not
+// a failure — with the partial marker and reason in the JSON.
+func TestPartialReportWritten(t *testing.T) {
+	code, out, errBuf := runCLI(t, tinyArgs("-format", "json",
+		"-skip-failed", "-max-failed", "1",
+		"-faults", "home.panic@0,times=-1;home.panic@1,times=-1"))
+	if code != 3 {
+		t.Fatalf("exit %d, want 3 (stderr: %s)", code, errBuf.String())
+	}
+	var rep struct {
+		Fleet *powifi.FleetSummary `json:"fleet"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("partial report is not valid JSON: %v", err)
+	}
+	if rep.Fleet == nil || !rep.Fleet.Partial || rep.Fleet.PartialReason != powifi.PartialFailureBudget {
+		t.Fatalf("fleet section = %+v, want partial with reason %q", rep.Fleet, powifi.PartialFailureBudget)
+	}
+	if len(rep.Fleet.Errors) != 2 {
+		t.Errorf("report carries %d quarantined-home errors, want 2", len(rep.Fleet.Errors))
+	}
+}
+
+// TestFaultsComposeWithScenario pins -faults as execution state: like
+// -telemetry and -checkpoint it attaches to a -scenario run instead of
+// conflicting with it.
+func TestFaultsComposeWithScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	sc := `{"schema":1,"homes":3,"seed":9,"workers":2,"horizon":"2h","bin":"30m","window":"2ms","failure_policy":{"retry":1}}`
+	if err := os.WriteFile(path, []byte(sc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errBuf := runCLI(t, []string{"-scenario", path, "-q", "-faults", "home.panic@1"})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (retry policy absorbs the single injected panic); stderr: %s",
+			code, errBuf.String())
+	}
+}

@@ -43,6 +43,28 @@
 // different configuration. Composes with -scenario; incompatible with
 // -devices (lifecycle state lives outside the committed prefix).
 //
+// Failure handling defaults to fail-fast: a home whose simulation
+// panics aborts the run with a structured error naming the home.
+// -retry N re-attempts each failed home up to N more times on a fresh
+// sampler; -skip-failed quarantines homes that exhaust their retries
+// into the report's errors section and keeps going; -max-failed N caps
+// the quarantine under -skip-failed. -deadline D bounds the run's
+// wall-clock time: when it expires the run commits the finished home
+// prefix, writes a final checkpoint (with -checkpoint), and emits a
+// report marked partial instead of failing. Which homes fail, retry
+// and quarantine is workers-invariant, like every other result.
+// -faults SPEC arms deterministic fault injection (the chaos-
+// certification hook; see internal/faultinject for the grammar) and is
+// not meant for production runs.
+//
+// Exit codes:
+//
+//	0  run completed; report written
+//	1  runtime error (simulation failure, I/O error, cancellation)
+//	2  usage error (bad flags or arguments)
+//	3  partial result: a -deadline or -max-failed budget ended the run
+//	   early; the report was written and covers the committed prefix
+//
 // Observability is strictly out of band: -telemetry collects run
 // metrics (counters, histograms, phase spans, run manifest) without
 // changing a byte of output, -metrics-out FILE writes them in
@@ -113,6 +135,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		metrAddr = fs.String("metrics-addr", "", "serve live /metrics and /debug/vars on this address (implies -telemetry)")
 		progress = fs.Bool("progress", false, "show a live progress line on stderr (interactive terminals only)")
 		ckptPath = fs.String("checkpoint", "", "periodically checkpoint the run to this file and resume from it if present; removed on success")
+		retry    = fs.Int("retry", 0, "re-attempt each failed home up to this many more times")
+		skipF    = fs.Bool("skip-failed", false, "quarantine homes that exhaust their retries instead of aborting")
+		maxFail  = fs.Int("max-failed", 0, "end the run with a partial report after this many quarantined homes (requires -skip-failed; 0 = unlimited)")
+		deadline = fs.Duration("deadline", 0, "wall-clock budget; on expiry the run ends with a partial report covering the committed homes (exit code 3)")
+		faults   = fs.String("faults", "", "arm deterministic fault injection (chaos certification; spec: site@key[,times=N][,delay=D];...)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -138,7 +165,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "scenario", "format", "q", "cpuprofile", "memprofile",
-				"telemetry", "metrics-out", "metrics-addr", "progress", "checkpoint":
+				"telemetry", "metrics-out", "metrics-addr", "progress", "checkpoint", "faults":
 			default:
 				conflicts = append(conflicts, "-"+f.Name)
 			}
@@ -178,6 +205,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 			opts = append(opts, powifi.WithDevices(mix))
 		}
+		if *retry != 0 || *skipF {
+			opts = append(opts, powifi.WithFailurePolicy(powifi.FailurePolicy{Retry: *retry, Skip: *skipF}))
+		}
+		if *deadline != 0 {
+			opts = append(opts, powifi.WithDeadline(*deadline))
+		}
+		if *maxFail != 0 {
+			opts = append(opts, powifi.WithMaxFailedHomes(*maxFail))
+		}
 		var err error
 		if sc, err = powifi.NewScenario(opts...); err != nil {
 			fmt.Fprintln(stderr, err)
@@ -201,6 +237,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *ckptPath != "" {
 		extra = append(extra, powifi.WithCheckpoint(*ckptPath))
+	}
+	if *faults != "" {
+		extra = append(extra, powifi.WithFaults(*faults))
 	}
 	if len(extra) > 0 {
 		var err error
@@ -276,6 +315,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
+	}
+	if rep.Fleet != nil && rep.Fleet.Partial {
+		// The report above is complete for the committed prefix; the
+		// distinct exit code lets sweep drivers resume or alert without
+		// parsing it.
+		fmt.Fprintf(stderr, "partial result (%s): aggregates cover %d of %d homes\n",
+			rep.Fleet.PartialReason, rep.Fleet.CommittedHomes, rep.Fleet.Homes)
+		return 3
 	}
 	return 0
 }

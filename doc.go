@@ -44,6 +44,20 @@
 // configuration resumes from it with output bit-identical to an
 // uninterrupted run at any WithWorkers value.
 //
+// Long sweeps are hardened against failure. Each home simulates under
+// a supervisor: a panic becomes a structured *HomeError naming the
+// home, and WithFailurePolicy decides whether the run fails fast (the
+// default), retries the home on a fresh sampler, or quarantines it
+// into the report's errors section — all workers-invariant, with a
+// successful retry byte-identical to never having failed. Checkpoints
+// are durable (checksummed, fsynced, previous generation kept as a
+// .prev fallback against torn or corrupted writes). WithDeadline and
+// WithMaxFailedHomes trade completeness for liveness: a tripped budget
+// returns a Report marked partial — covering exactly the committed
+// home prefix, resumable via WithCheckpoint — rather than an error
+// (the powifi-fleet CLI maps it to exit code 3). See DESIGN.md
+// "Failure semantics".
+//
 // Fleet runs can collect telemetry — counters, histograms, phase spans
 // and a run manifest — strictly out of band: WithTelemetry attaches a
 // collector (the Report gains an additive "telemetry" section whose

@@ -19,6 +19,25 @@ type FleetPopulation = fleet.Population
 // FleetResult holds the mergeable fleet-level aggregates of a run.
 type FleetResult = fleet.Result
 
+// FailurePolicy decides what a per-home worker failure does to a fleet
+// run (see WithFailurePolicy); the zero value fails fast.
+type FailurePolicy = fleet.FailurePolicy
+
+// HomeError is the structured error describing one failed home. A
+// fail-fast fleet run's error unwraps to *HomeError via errors.As; a
+// Skip policy reports quarantined homes' HomeErrors in the fleet
+// summary's Errors section instead.
+type HomeError = fleet.HomeError
+
+// Partial-result reasons echoed in a fleet summary's PartialReason
+// field when the run degraded gracefully instead of completing.
+const (
+	// PartialDeadline: the WithDeadline budget expired.
+	PartialDeadline = fleet.PartialDeadline
+	// PartialFailureBudget: quarantined homes exceeded WithMaxFailedHomes.
+	PartialFailureBudget = fleet.PartialFailureBudget
+)
+
 // DefaultFleetConfig returns a 1000-home, 24-hour fleet run.
 func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
 

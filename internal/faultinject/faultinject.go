@@ -1,0 +1,318 @@
+// Package faultinject is the deterministic failure-injection registry
+// behind the fleet engine's chaos certification: armed failpoints that
+// make a specific home panic or stall, a checkpoint write tear, a
+// rename fail, or a serialized payload rot — on demand, reproducibly,
+// at any worker count.
+//
+// # Determinism contract
+//
+// A fault never draws from the simulation's random streams. Selection
+// is a pure function of (registry seed, site, key): explicit keys and
+// every-Nth selectors are arithmetic, and probabilistic selectors hash
+// (seed, site, key) through the same label-stream fold the simulator
+// uses (internal/xrand), so whether home 17 panics depends only on the
+// armed spec — never on scheduling, worker count, or which faults
+// fired before. Per-key fire counts are tracked so a retried home can
+// deterministically succeed (the default arms one fire per key).
+//
+// # Zero overhead when disabled
+//
+// Like internal/telemetry, the disabled state is a nil *Set: every
+// method nil-checks and returns, costing one branch and zero
+// allocations on the instrumented paths. Production runs never
+// construct a Set; tests and the hidden -faults CLI flag do.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Site names an instrumented failpoint. The fleet engine consults each
+// site with a deterministic key: the home index for home sites, the
+// session-local write generation (0, 1, ...) for checkpoint sites.
+type Site string
+
+// The armed sites. Anything else is a spec error — a typo'd site must
+// fail loudly at arm time, not silently never fire.
+const (
+	// HomePanic panics the keyed home's simulation attempt (the fleet
+	// worker's supervisor converts it into a structured HomeError).
+	HomePanic Site = "home.panic"
+	// HomeSlow sleeps the fault's Delay before the keyed home's
+	// attempt — deadline pressure for budget certification.
+	HomeSlow Site = "home.slow"
+	// CheckpointShortWrite truncates the keyed checkpoint write to half
+	// its payload: a torn write that the envelope checksum must catch
+	// on resume.
+	CheckpointShortWrite Site = "checkpoint.short-write"
+	// CheckpointRenameFail fails the keyed checkpoint's atomic rename;
+	// the writer must clean its temp file and keep the last good
+	// generation reachable.
+	CheckpointRenameFail Site = "checkpoint.rename-fail"
+	// CheckpointCorrupt flips one payload bit in the keyed checkpoint
+	// write: bit rot that the checksum must catch on resume.
+	CheckpointCorrupt Site = "checkpoint.corrupt"
+)
+
+// Sites lists every armable site, for spec validation and docs.
+func Sites() []Site {
+	return []Site{HomePanic, HomeSlow, CheckpointShortWrite, CheckpointRenameFail, CheckpointCorrupt}
+}
+
+func knownSite(s Site) bool {
+	for _, k := range Sites() {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Fault is one armed failpoint. Exactly one selector applies: Every
+// and Prob when positive, otherwise the explicit Key. Times bounds the
+// fires per key — the default (0) arms a single fire, so a retried
+// home deterministically succeeds on its second attempt; a negative
+// Times fires on every hit.
+type Fault struct {
+	Site Site
+	// Key is the explicit key to fire on (home index, checkpoint write
+	// generation). Ignored when Every or Prob is set.
+	Key int
+	// Every fires on every key divisible by it (key%Every == 0).
+	Every int
+	// Prob fires on each key with the given probability, decided by a
+	// label-seeded hash of (seed, site, key) — deterministic per key,
+	// independent of workers and of other faults.
+	Prob float64
+	// Times is the per-key fire budget: 0 means once, n > 0 means n
+	// times, negative means unlimited.
+	Times int
+	// Delay is the sleep HomeSlow injects.
+	Delay time.Duration
+}
+
+func (f Fault) validate() error {
+	if !knownSite(f.Site) {
+		return fmt.Errorf("faultinject: unknown site %q (known: %v)", f.Site, Sites())
+	}
+	if f.Every > 0 && f.Prob > 0 {
+		return fmt.Errorf("faultinject: %s arms both every=%d and p=%g; pick one selector", f.Site, f.Every, f.Prob)
+	}
+	if f.Every < 0 || f.Prob < 0 || f.Prob > 1 {
+		return fmt.Errorf("faultinject: %s has an invalid selector (every=%d, p=%g)", f.Site, f.Every, f.Prob)
+	}
+	if f.Key < 0 && f.Every == 0 && f.Prob == 0 {
+		return fmt.Errorf("faultinject: %s has a negative key %d", f.Site, f.Key)
+	}
+	if f.Delay < 0 {
+		return fmt.Errorf("faultinject: %s has a negative delay %v", f.Site, f.Delay)
+	}
+	if f.Site == HomeSlow && f.Delay == 0 {
+		return fmt.Errorf("faultinject: %s needs delay=<duration>", f.Site)
+	}
+	return nil
+}
+
+// armed is one fault plus its per-key fire ledger.
+type armed struct {
+	Fault
+	label string // precomputed probabilistic-selector label prefix
+	fired map[int]int
+}
+
+// PanicValue is the value an injected HomePanic carries; its rendering
+// is deterministic so recovered panic messages compare bit-identically
+// across runs and worker counts.
+type PanicValue struct {
+	Site Site
+	Key  int
+}
+
+func (p PanicValue) String() string {
+	return fmt.Sprintf("faultinject: injected panic (%s key %d)", p.Site, p.Key)
+}
+
+// Set is an armed fault registry. A nil *Set is the disabled state —
+// every method is nil-receiver safe and free. A non-nil Set is safe
+// for concurrent use by the run's workers (fault paths are cold; a
+// mutex guards the fire ledgers).
+type Set struct {
+	seed uint64
+
+	mu    sync.Mutex
+	sites map[Site][]*armed
+	fires int
+}
+
+// New arms a registry. The seed feeds only probabilistic selectors; it
+// should be the run's root seed so a probabilistic chaos run is as
+// reproducible as the simulation itself.
+func New(seed uint64, faults ...Fault) (*Set, error) {
+	if len(faults) == 0 {
+		return nil, fmt.Errorf("faultinject: no faults to arm")
+	}
+	s := &Set{seed: seed, sites: make(map[Site][]*armed)}
+	for _, f := range faults {
+		if err := f.validate(); err != nil {
+			return nil, err
+		}
+		s.sites[f.Site] = append(s.sites[f.Site], &armed{
+			Fault: f,
+			label: "faultinject/" + string(f.Site) + "/",
+			fired: make(map[int]int),
+		})
+	}
+	return s, nil
+}
+
+// selects reports whether the fault's selector matches the key,
+// independent of fire history.
+func (a *armed) selects(seed uint64, key int) bool {
+	switch {
+	case a.Every > 0:
+		return key%a.Every == 0
+	case a.Prob > 0:
+		h := finalize(xrand.LabelSeedInt(seed, a.label, key))
+		return float64(h>>11)/(1<<53) < a.Prob
+	default:
+		return key == a.Key
+	}
+}
+
+// finalize avalanches a label-fold hash (splitmix64's output mix): raw
+// FNV folds over short decimal suffixes barely move the top bits, and
+// the probabilistic selector reads exactly those bits.
+func finalize(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// Hit consults the site with a key and returns the fault that fires,
+// or nil. Each armed fault honors its per-key Times budget, so a
+// default-armed panic fires on a home's first attempt and lets the
+// retry through. Nil-safe: a disabled registry costs one branch.
+func (s *Set) Hit(site Site, key int) *Fault {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.sites[site] {
+		if !a.selects(s.seed, key) {
+			continue
+		}
+		budget := a.Times
+		if budget == 0 {
+			budget = 1
+		}
+		if n := a.fired[key]; budget > 0 && n >= budget {
+			continue
+		}
+		a.fired[key]++
+		s.fires++
+		return &a.Fault
+	}
+	return nil
+}
+
+// Fires returns the total number of faults fired so far (0 on a nil
+// Set) — the chaos suites' assertion hook.
+func (s *Set) Fires() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fires
+}
+
+// Parse arms a registry from the hidden -faults CLI spec: faults
+// separated by ';', each
+//
+//	site@SELECTOR[,times=N][,delay=DURATION]
+//
+// where SELECTOR is an explicit integer key, "every=N", or "p=F".
+// Examples:
+//
+//	home.panic@5
+//	home.slow@every=3,delay=5ms
+//	checkpoint.corrupt@1;checkpoint.rename-fail@2
+//	home.panic@p=0.01,times=-1
+//
+// An empty spec is an error: arming nothing is a typo, not a request.
+func Parse(seed uint64, spec string) (*Set, error) {
+	var faults []Fault
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(item, "@")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: %q: want site@selector", item)
+		}
+		f := Fault{Site: Site(strings.TrimSpace(site))}
+		parts := strings.Split(rest, ",")
+		if err := parseSelector(&f, strings.TrimSpace(parts[0])); err != nil {
+			return nil, fmt.Errorf("faultinject: %q: %w", item, err)
+		}
+		for _, opt := range parts[1:] {
+			k, v, ok := strings.Cut(strings.TrimSpace(opt), "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: %q: option %q: want key=value", item, opt)
+			}
+			switch k {
+			case "times":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: %q: times: %w", item, err)
+				}
+				f.Times = n
+			case "delay":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: %q: delay: %w", item, err)
+				}
+				f.Delay = d
+			default:
+				return nil, fmt.Errorf("faultinject: %q: unknown option %q (want times or delay)", item, k)
+			}
+		}
+		faults = append(faults, f)
+	}
+	return New(seed, faults...)
+}
+
+// parseSelector fills the fault's selector from the spec fragment.
+func parseSelector(f *Fault, sel string) error {
+	switch {
+	case strings.HasPrefix(sel, "every="):
+		n, err := strconv.Atoi(sel[len("every="):])
+		if err != nil {
+			return fmt.Errorf("every: %w", err)
+		}
+		f.Every = n
+	case strings.HasPrefix(sel, "p="):
+		p, err := strconv.ParseFloat(sel[len("p="):], 64)
+		if err != nil {
+			return fmt.Errorf("p: %w", err)
+		}
+		f.Prob = p
+	default:
+		k, err := strconv.Atoi(sel)
+		if err != nil {
+			return fmt.Errorf("selector %q: want an integer key, every=N or p=F", sel)
+		}
+		f.Key = k
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSetIsFreeAndSilent(t *testing.T) {
+	var s *Set
+	if f := s.Hit(HomePanic, 0); f != nil {
+		t.Fatalf("nil set fired %+v", f)
+	}
+	if n := s.Fires(); n != 0 {
+		t.Fatalf("nil set counted %d fires", n)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Hit(HomePanic, 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-set Hit allocates %v per call; want 0", allocs)
+	}
+}
+
+func TestExplicitKeyFiresOnce(t *testing.T) {
+	s, err := New(1, Fault{Site: HomePanic, Key: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := s.Hit(HomePanic, 4); f != nil {
+		t.Fatalf("key 4 fired %+v", f)
+	}
+	if f := s.Hit(HomePanic, 5); f == nil {
+		t.Fatal("key 5 did not fire")
+	}
+	// The default budget is one fire per key: the retry attempt passes.
+	if f := s.Hit(HomePanic, 5); f != nil {
+		t.Fatalf("key 5 fired twice with default budget: %+v", f)
+	}
+	if got := s.Fires(); got != 1 {
+		t.Fatalf("Fires() = %d, want 1", got)
+	}
+}
+
+func TestTimesBudgetPerKey(t *testing.T) {
+	s, err := New(1, Fault{Site: HomePanic, Every: 2, Times: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if s.Hit(HomePanic, 4) == nil {
+			t.Fatalf("fire %d of 3 on key 4 missed", i+1)
+		}
+	}
+	if s.Hit(HomePanic, 4) != nil {
+		t.Fatal("key 4 fired beyond its times=3 budget")
+	}
+	// Budgets are per key, not shared: key 6 has its own three fires.
+	if s.Hit(HomePanic, 6) == nil {
+		t.Fatal("key 6 blocked by key 4's budget")
+	}
+
+	unlimited, err := New(1, Fault{Site: HomePanic, Key: 0, Times: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if unlimited.Hit(HomePanic, 0) == nil {
+			t.Fatalf("unlimited fault stopped at fire %d", i)
+		}
+	}
+}
+
+func TestEverySelector(t *testing.T) {
+	s, err := New(1, Fault{Site: HomeSlow, Every: 3, Delay: time.Millisecond, Times: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		fired := s.Hit(HomeSlow, k) != nil
+		if want := k%3 == 0; fired != want {
+			t.Fatalf("key %d: fired=%v, want %v", k, fired, want)
+		}
+	}
+}
+
+func TestProbSelectorDeterministic(t *testing.T) {
+	pick := func(seed uint64) []int {
+		s, err := New(seed, Fault{Site: HomePanic, Prob: 0.25, Times: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []int
+		for k := 0; k < 400; k++ {
+			if s.Hit(HomePanic, k) != nil {
+				keys = append(keys, k)
+			}
+		}
+		return keys
+	}
+	a, b := pick(42), pick(42)
+	if len(a) == 0 || len(a) == 400 {
+		t.Fatalf("p=0.25 over 400 keys fired %d times; selector is degenerate", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed fired %d vs %d keys", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at pick %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Roughly a quarter of keys — generous 3σ-ish bounds, this is a
+	// determinism test not a statistics test.
+	if len(a) < 60 || len(a) > 140 {
+		t.Fatalf("p=0.25 over 400 keys fired %d times; want roughly 100", len(a))
+	}
+	if c := pick(43); len(c) == len(a) && equalInts(c, a) {
+		t.Fatal("different seeds picked identical key sets")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := Parse(7, "home.panic@5; home.slow@every=3,delay=5ms; checkpoint.corrupt@p=0.5,times=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Hit(HomePanic, 5) == nil {
+		t.Fatal("home.panic@5 did not fire on key 5")
+	}
+	slow := s.Hit(HomeSlow, 6)
+	if slow == nil {
+		t.Fatal("home.slow@every=3 did not fire on key 6")
+	}
+	if slow.Delay != 5*time.Millisecond {
+		t.Fatalf("delay = %v, want 5ms", slow.Delay)
+	}
+
+	bad := []string{
+		"",                         // arming nothing is a typo
+		"home.panic",               // no selector
+		"warp.core@1",              // unknown site
+		"home.panic@x",             // non-integer key
+		"home.panic@every=2,p=0.5", // two selectors
+		"home.panic@1,speed=9",     // unknown option
+		"home.slow@1",              // slow without delay
+		"home.panic@p=1.5",         // probability out of range
+		"home.panic@1,delay=-2ms",  // negative delay
+	}
+	for _, spec := range bad {
+		if _, err := Parse(1, spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestPanicValueRendering(t *testing.T) {
+	got := PanicValue{Site: HomePanic, Key: 17}.String()
+	want := "faultinject: injected panic (home.panic key 17)"
+	if got != want {
+		t.Fatalf("PanicValue = %q, want %q", got, want)
+	}
+	if !strings.Contains(got, "faultinject") {
+		t.Fatal("panic rendering must be attributable to the injector")
+	}
+}

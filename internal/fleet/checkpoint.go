@@ -3,9 +3,11 @@ package fleet
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 
+	"repro/internal/faultinject"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -13,7 +15,9 @@ import (
 // CheckpointSchema identifies the checkpoint file format version. A
 // mismatch fails loudly: resuming through a format change could fold
 // state into the wrong aggregates and silently corrupt the run.
-const CheckpointSchema = 1
+// Schema 2 wraps the reducer payload in a checksummed envelope and
+// rotates a last-good generation.
+const CheckpointSchema = 2
 
 // defaultCheckpointEvery is the periodic write cadence in committed
 // homes. A checkpoint is a few tens of kilobytes, so the default keeps
@@ -30,25 +34,48 @@ const defaultCheckpointEvery = 4096
 // checkpoint and re-running the remaining homes yields output
 // bit-identical to an uninterrupted run at any worker count.
 //
+// Durability: each write goes to a fsynced temp file, the previous
+// checkpoint (if any) rotates to Path+".prev", the temp file renames
+// into place, and the directory is fsynced — so a crash at any instant
+// leaves at least one intact generation on disk. The payload carries
+// an fnv64a checksum; a resume that finds the latest generation torn
+// or bit-rotted falls back to the ".prev" generation instead of
+// failing (and fails loudly only when no intact generation remains).
+//
 // On RunWith entry, if Path exists it must be a checkpoint of the same
-// configuration (fingerprint-checked, worker count excluded); the run
-// then resumes from its committed prefix, and the Progress/Home hooks
-// fire only for the homes actually simulated this session. On
-// successful completion the file is removed. On cancellation or a Home
-// hook stop, the committed prefix is written before RunWith returns.
+// configuration (fingerprint-checked; worker count and the failure/
+// degradation budgets excluded); the run then resumes from its
+// committed prefix, and the Progress/Home hooks fire only for the
+// homes actually simulated this session. On successful completion both
+// generations are removed; a partial run keeps them so the tail can be
+// resumed. On cancellation or a Home hook stop, the committed prefix
+// is written before RunWith returns.
 //
 // Checkpointing rejects device-lifecycle populations: the lifecycle
 // engine's pooled per-bin ledgers accumulate on the workers, not the
 // reducer, so a committed home prefix would not capture them.
 type Checkpoint struct {
-	// Path is the checkpoint file. Writes are atomic (temp file +
-	// rename), so a crash mid-write leaves the previous checkpoint
-	// intact.
+	// Path is the checkpoint file; Path+".prev" holds the previous
+	// generation. Writes are atomic (fsynced temp file + rename), so a
+	// crash mid-write leaves the previous checkpoint intact.
 	Path string
 	// Every is the number of committed homes between periodic writes;
 	// <= 0 selects the default (4096). The terminal write on
-	// cancellation or hook stop happens regardless.
+	// cancellation, budget exhaustion or hook stop happens regardless.
 	Every int
+}
+
+// prevPath returns the last-good generation's path.
+func (ck *Checkpoint) prevPath() string { return ck.Path + ".prev" }
+
+// checkpointEnvelope is the on-disk wrapper: schema, an fnv64a hex
+// checksum of Payload, and the serialized reducer state. The checksum
+// turns torn writes and bit rot into detected corruption instead of
+// silently wrong aggregates.
+type checkpointEnvelope struct {
+	Schema  int             `json:"schema"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
 }
 
 // checkpointFile is the serialized reducer state. Sketches round-trip
@@ -56,7 +83,6 @@ type Checkpoint struct {
 // trip floats), and Welford accumulators are three exact scalars, so a
 // loaded checkpoint restores the reducer to the identical float state.
 type checkpointFile struct {
-	Schema     int    `json:"schema"`
 	ConfigHash string `json:"config_hash"`
 	Homes      int    `json:"homes"`
 	// Next is the first home index not yet committed: aggregates below
@@ -76,116 +102,272 @@ type checkpointFile struct {
 	OccW     stats.Welford `json:"occ_w"`
 	HarvestW stats.Welford `json:"harvest_w"`
 	RateW    stats.Welford `json:"rate_w"`
+
+	// Errors carries the quarantined homes of the committed prefix, so
+	// a resumed skip-policy run reports the identical Errors section.
+	Errors []HomeError `json:"errors,omitempty"`
 }
 
 // checkpointHash fingerprints everything that determines a run's
 // output. Workers is zeroed: parallelism never affects results, so a
-// checkpoint taken at -workers 8 resumes correctly at -workers 1.
+// checkpoint taken at -workers 8 resumes correctly at -workers 1. The
+// failure policy and degradation budgets are zeroed too: they decide
+// when a run stops or what it retries, not what a committed home
+// contains, so a deadline-truncated run may resume under a fresh
+// budget (or a crashed fail-fast run resume with a skip policy).
 func checkpointHash(cfg Config) string {
 	cfg.Workers = 0
+	cfg.Policy = FailurePolicy{}
+	cfg.Deadline = 0
+	cfg.MaxFailedHomes = 0
 	return telemetry.HashConfig(cfg)
 }
 
-// writeCheckpoint atomically serializes the reducer state: homes
-// [0, next) are committed into res.
-func writeCheckpoint(ck *Checkpoint, cfg Config, res *Result, next int) error {
+// payloadSum is the envelope checksum: fnv64a over the payload bytes.
+func payloadSum(payload []byte) string {
+	h := fnv.New64a()
+	h.Write(payload)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ckWriter owns one run's checkpoint writes: the rotation, the fsync
+// discipline, and the session-local write generation that keys the
+// injectable checkpoint faults.
+type ckWriter struct {
+	ck  *Checkpoint
+	cfg Config
+	fi  *faultinject.Set
+	t   *telemetry.Run
+	gen int
+}
+
+// write atomically serializes the reducer state: homes [0, next) are
+// committed into res. The previous on-disk generation survives as
+// ".prev" until the next write replaces it.
+func (w *ckWriter) write(res *Result, next int) error {
 	cf := checkpointFile{
-		Schema:     CheckpointSchema,
-		ConfigHash: checkpointHash(cfg),
-		Homes:      cfg.Homes,
-		Next:       next,
-		SilentBins: res.SilentBins,
-		TotalBins:  res.TotalBins,
-		CumOcc:     res.CumOcc,
-		ChOcc:      res.ChOcc,
+		ConfigHash:  checkpointHash(w.cfg),
+		Homes:       w.cfg.Homes,
+		Next:        next,
+		SilentBins:  res.SilentBins,
+		TotalBins:   res.TotalBins,
+		CumOcc:      res.CumOcc,
+		ChOcc:       res.ChOcc,
 		HomeHarvest: res.HomeHarvest,
-		BinOcc:     res.BinOcc,
-		Harvest:    res.Harvest,
-		Latency:    res.Latency,
-		OccW:       res.OccW,
-		HarvestW:   res.HarvestW,
-		RateW:      res.RateW,
+		BinOcc:      res.BinOcc,
+		Harvest:     res.Harvest,
+		Latency:     res.Latency,
+		OccW:        res.OccW,
+		HarvestW:    res.HarvestW,
+		RateW:       res.RateW,
+		Errors:      res.Errors,
 	}
-	data, err := json.Marshal(cf)
+	payload, err := json.Marshal(cf)
 	if err != nil {
 		return fmt.Errorf("fleet: serializing checkpoint: %w", err)
 	}
-	tmp := ck.Path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	env, err := json.Marshal(checkpointEnvelope{
+		Schema:  CheckpointSchema,
+		Sum:     payloadSum(payload),
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: serializing checkpoint: %w", err)
+	}
+	gen := w.gen
+	w.gen++
+
+	// Injectable write faults, keyed by this session's write generation:
+	// a short write truncates the file (torn write), corruption flips
+	// one byte in the middle (which lands in the checksummed payload —
+	// the envelope head is a fixed few dozen bytes). Both survive the
+	// rename and must be caught by the resume path's checksum.
+	data := env
+	if f := w.fi.Hit(faultinject.CheckpointShortWrite, gen); f != nil {
+		w.t.FailureCounters().Fault()
+		data = data[:len(data)/2]
+	}
+	if f := w.fi.Hit(faultinject.CheckpointCorrupt, gen); f != nil {
+		w.t.FailureCounters().Fault()
+		data = append([]byte(nil), data...)
+		data[len(data)/2] ^= 0x01
+	}
+
+	tmp := w.ck.Path + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("fleet: writing checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, ck.Path); err != nil {
+	// Rotate the last good generation aside before the rename replaces
+	// it; a crash between the two renames leaves only ".prev", which
+	// the resume path reads.
+	if _, err := os.Stat(w.ck.Path); err == nil {
+		if err := os.Rename(w.ck.Path, w.ck.prevPath()); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("fleet: rotating checkpoint: %w", err)
+		}
+		w.t.Counter(telemetry.CounterCheckpointRotations).Inc()
+	}
+	if f := w.fi.Hit(faultinject.CheckpointRenameFail, gen); f != nil {
+		w.t.FailureCounters().Fault()
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: committing checkpoint: %w",
+			fmt.Errorf("injected rename failure (generation %d)", gen))
+	}
+	if err := os.Rename(tmp, w.ck.Path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("fleet: committing checkpoint: %w", err)
 	}
+	syncDir(filepath.Dir(w.ck.Path))
 	return nil
 }
 
-// loadCheckpoint restores the reducer state from ck.Path into res and
-// returns the next home index to simulate. A missing file is not an
-// error — the run simply starts from home 0. Anything else that
-// prevents a faithful resume (schema or configuration mismatch, out-
-// of-range prefix, corrupt aggregates) is: silently restarting would
-// discard exactly the work the caller asked to keep.
-func loadCheckpoint(ck *Checkpoint, cfg Config, res *Result) (next int, err error) {
-	data, err := os.ReadFile(ck.Path)
-	if os.IsNotExist(err) {
-		return 0, nil
-	}
+// writeFileSync writes data and fsyncs before closing, so the bytes
+// are durable before the rename publishes them.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return 0, fmt.Errorf("fleet: reading checkpoint: %w", err)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Best effort: some filesystems reject directory fsync, and the
+// in-file fsync already bounds the loss to one rotation.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// remove deletes both on-disk generations (a completed run needs no
+// resume point).
+func (w *ckWriter) remove() {
+	os.Remove(w.ck.Path)
+	os.Remove(w.ck.prevPath())
+}
+
+// loadCheckpoint restores the reducer state from the checkpoint's
+// latest intact generation and returns the next home index to simulate
+// plus the restored Result. A missing checkpoint is not an error — the
+// run starts fresh from home 0. A corrupt or torn latest generation
+// falls back to ".prev" (counting a telemetry fallback); anything that
+// prevents a faithful resume from every available generation (schema
+// or configuration mismatch, out-of-range prefix, corrupt aggregates
+// with no intact fallback) is an error: silently restarting would
+// discard exactly the work the caller asked to keep.
+func loadCheckpoint(ck *Checkpoint, cfg Config, t *telemetry.Run) (next int, res *Result, err error) {
+	next, res, err = tryLoadCheckpoint(ck.Path, cfg)
+	if err == nil {
+		return next, res, nil
+	}
+	if os.IsNotExist(err) {
+		// No latest generation. A lone ".prev" means the process died
+		// between the rotation and the rename; resume from it.
+		next, res, perr := tryLoadCheckpoint(ck.prevPath(), cfg)
+		if perr == nil {
+			t.Counter(telemetry.CounterCheckpointFallbacks).Inc()
+			return next, res, nil
+		}
+		if os.IsNotExist(perr) {
+			return 0, newResult(cfg), nil // fresh start
+		}
+		return 0, nil, perr
+	}
+	// The latest generation exists but did not load. Fall back to the
+	// previous generation if it is intact; otherwise surface the
+	// original error (a config mismatch fails the same way on both).
+	if next, res, perr := tryLoadCheckpoint(ck.prevPath(), cfg); perr == nil {
+		t.Counter(telemetry.CounterCheckpointFallbacks).Inc()
+		return next, res, nil
+	}
+	return 0, nil, err
+}
+
+// tryLoadCheckpoint restores one checkpoint generation into a fresh
+// Result. The caller decides whether a failure is fatal or a fallback.
+func tryLoadCheckpoint(path string, cfg Config) (next int, res *Result, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err // includes os.IsNotExist for the caller
+	}
+	base := filepath.Base(path)
+	var env checkpointEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return 0, nil, fmt.Errorf("fleet: parsing checkpoint %s: %w", base, err)
+	}
+	if env.Schema != CheckpointSchema {
+		return 0, nil, fmt.Errorf("fleet: checkpoint %s has schema %d (this build reads schema %d)",
+			base, env.Schema, CheckpointSchema)
+	}
+	if got := payloadSum(env.Payload); got != env.Sum {
+		return 0, nil, fmt.Errorf("fleet: checkpoint %s is corrupt (payload sum %s, envelope says %s)",
+			base, got, env.Sum)
 	}
 	var cf checkpointFile
-	if err := json.Unmarshal(data, &cf); err != nil {
-		return 0, fmt.Errorf("fleet: parsing checkpoint %s: %w", filepath.Base(ck.Path), err)
-	}
-	if cf.Schema != CheckpointSchema {
-		return 0, fmt.Errorf("fleet: checkpoint %s has schema %d (this build reads schema %d)",
-			filepath.Base(ck.Path), cf.Schema, CheckpointSchema)
+	if err := json.Unmarshal(env.Payload, &cf); err != nil {
+		return 0, nil, fmt.Errorf("fleet: parsing checkpoint %s: %w", base, err)
 	}
 	if want := checkpointHash(cfg); cf.ConfigHash != want {
-		return 0, fmt.Errorf("fleet: checkpoint %s was taken under a different configuration (hash %s, this run %s)",
-			filepath.Base(ck.Path), cf.ConfigHash, want)
+		return 0, nil, fmt.Errorf("fleet: checkpoint %s was taken under a different configuration (hash %s, this run %s)",
+			base, cf.ConfigHash, want)
 	}
 	if cf.Next < 0 || cf.Next > cf.Homes || cf.Homes != cfg.Homes {
-		return 0, fmt.Errorf("fleet: checkpoint %s has inconsistent prefix (next %d of %d homes, run has %d)",
-			filepath.Base(ck.Path), cf.Next, cf.Homes, cfg.Homes)
+		return 0, nil, fmt.Errorf("fleet: checkpoint %s has inconsistent prefix (next %d of %d homes, run has %d)",
+			base, cf.Next, cf.Homes, cfg.Homes)
 	}
-	// Restore through TryMerge-style validation: each sketch must match
-	// the resolution newResult built, so a truncated or hand-edited file
-	// cannot slip mismatched aggregates into the run.
+	// Restore into a fresh Result through TryMerge-style validation:
+	// each sketch must match the resolution newResult built, so a
+	// truncated or hand-edited file cannot slip mismatched aggregates
+	// into the run. Building fresh per generation also means a failed
+	// restore never leaves a half-merged Result for the fallback.
+	res = newResult(cfg)
 	restore := func(dst, src *stats.Sketch, name string) error {
 		if src == nil {
-			return fmt.Errorf("fleet: checkpoint %s is missing the %s aggregate", filepath.Base(ck.Path), name)
+			return fmt.Errorf("fleet: checkpoint %s is missing the %s aggregate", base, name)
 		}
 		if err := dst.TryMerge(src); err != nil {
-			return fmt.Errorf("fleet: checkpoint %s: %s: %w", filepath.Base(ck.Path), name, err)
+			return fmt.Errorf("fleet: checkpoint %s: %s: %w", base, name, err)
 		}
 		return nil
 	}
 	if err := restore(res.CumOcc, cf.CumOcc, "cum_occ"); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	for i := range res.ChOcc {
 		if err := restore(res.ChOcc[i], cf.ChOcc[i], "ch_occ"); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
 	if err := restore(res.HomeHarvest, cf.HomeHarvest, "home_harvest"); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := restore(res.BinOcc, cf.BinOcc, "bin_occ"); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := restore(res.Harvest, cf.Harvest, "harvest"); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := restore(res.Latency, cf.Latency, "latency"); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	res.SilentBins = cf.SilentBins
 	res.TotalBins = cf.TotalBins
 	res.OccW = cf.OccW
 	res.HarvestW = cf.HarvestW
 	res.RateW = cf.RateW
-	return cf.Next, nil
+	res.Errors = cf.Errors
+	return cf.Next, res, nil
 }

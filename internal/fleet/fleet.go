@@ -126,6 +126,24 @@ type Config struct {
 	// ledger integrates per-bin magnitudes over time, which would
 	// compound the proxy ε outside its certified bound.
 	Coarse bool
+	// Policy decides what a per-home panic does to the run; the zero
+	// value fails fast (see FailurePolicy). Incompatible with a
+	// device-lifecycle population: lifecycle ledgers accumulate on the
+	// workers mid-home, so a retried or skipped home could double- or
+	// under-count outside the committed prefix.
+	Policy FailurePolicy
+	// Deadline bounds the run's wall-clock time; 0 means none. When it
+	// expires the run commits the reorder-buffer prefix, writes a final
+	// checkpoint (if checkpointing), and returns a Result marked
+	// Partial with reason PartialDeadline instead of an error.
+	// Incompatible with a device-lifecycle population for the same
+	// reason as Policy: a partial run must describe exactly its
+	// committed prefix.
+	Deadline time.Duration
+	// MaxFailedHomes caps quarantined homes under a Skip policy; 0
+	// means unlimited. Exceeding it ends the run with a partial Result
+	// (reason PartialFailureBudget) covering the committed prefix.
+	MaxFailedHomes int
 }
 
 // DefaultConfig returns a 1000-home, 24-hour fleet run.
@@ -197,6 +215,23 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Coarse && p.Lifecycle() {
 		return c, fmt.Errorf("fleet: the coarse tier cannot run a device-lifecycle population (the ledger integrates per-bin magnitudes, compounding the proxy ε)")
+	}
+	switch {
+	case c.Policy.Retry < 0:
+		return c, fmt.Errorf("fleet: Policy.Retry = %d, need >= 0", c.Policy.Retry)
+	case c.Deadline < 0:
+		return c, fmt.Errorf("fleet: Deadline = %v, need >= 0", c.Deadline)
+	case c.MaxFailedHomes < 0:
+		return c, fmt.Errorf("fleet: MaxFailedHomes = %d, need >= 0", c.MaxFailedHomes)
+	case c.MaxFailedHomes > 0 && !c.Policy.Skip:
+		return c, fmt.Errorf("fleet: MaxFailedHomes requires a Skip policy (fail-fast aborts on the first failed home)")
+	}
+	if p.Lifecycle() && (c.Policy != (FailurePolicy{}) || c.Deadline > 0) {
+		// Lifecycle ledgers accumulate on the workers mid-home, outside
+		// the reducer's committed prefix: a retried home would
+		// double-count its ledger bins, and a partial result would carry
+		// uncommitted homes' ledger contributions.
+		return c, fmt.Errorf("fleet: failure policies and deadlines cannot run a device-lifecycle population (worker-side ledgers fall outside the committed home prefix)")
 	}
 	return c, nil
 }

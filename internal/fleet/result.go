@@ -51,6 +51,11 @@ type homeStats struct {
 	// above are produced either way.
 	hasLife bool
 	life    lifeHomeStats
+	// fail marks a home whose attempts were exhausted: it rides the
+	// reorder buffer like a success (so the failure surfaces at a
+	// deterministic, workers-invariant point of the reduce order) but
+	// the reducer routes it to the failure policy instead of addHome.
+	fail *HomeError
 }
 
 // partial holds the worker-side pooled aggregates that do not ride
@@ -95,6 +100,19 @@ type Result struct {
 	// Arch holds the per-archetype lifecycle aggregates, nil unless the
 	// population carries a device mix.
 	Arch *[lifecycle.NumKinds]*archResult
+
+	// Failure and degradation state. Errors lists the quarantined homes
+	// in home-index order (empty unless a Skip policy saw failures);
+	// those homes contribute to no aggregate above. Partial marks a run
+	// that stopped on a degradation budget: the aggregates then
+	// describe exactly the committed prefix [0, CommittedHomes), minus
+	// quarantined homes, and PartialReason says which budget tripped
+	// (PartialDeadline or PartialFailureBudget). All four fields are
+	// workers-invariant.
+	Errors         []HomeError
+	Partial        bool
+	PartialReason  string
+	CommittedHomes int
 }
 
 func newResult(cfg Config) *Result {
@@ -269,6 +287,17 @@ type Summary struct {
 	// Lifecycle holds the device-lifecycle engine's per-archetype
 	// report; nil unless the population carries a device mix.
 	Lifecycle *LifecycleSummary `json:"lifecycle,omitempty"`
+
+	// Failure and degradation report. All fields are omitted on a clean
+	// run, so a fault-free report serializes byte-identically to builds
+	// that predate them. Errors lists quarantined homes in home-index
+	// order; Partial marks a degradation-budget stop whose aggregates
+	// cover exactly homes [0, CommittedHomes).
+	Partial        bool        `json:"partial,omitempty"`
+	PartialReason  string      `json:"partial_reason,omitempty"`
+	CommittedHomes int         `json:"committed_homes,omitempty"`
+	FailedHomes    int         `json:"failed_homes,omitempty"`
+	Errors         []HomeError `json:"errors,omitempty"`
 }
 
 // Summarize derives the serializable report from the aggregates.
@@ -297,6 +326,13 @@ func (r *Result) Summarize() Summary {
 	for i, chNum := range phy.PoWiFiChannels {
 		s.ChannelOccupancyPct[chNum.String()] = distFromSketch(r.ChOcc[i])
 	}
+	s.Partial = r.Partial
+	s.PartialReason = r.PartialReason
+	if r.Partial {
+		s.CommittedHomes = r.CommittedHomes
+	}
+	s.FailedHomes = len(r.Errors)
+	s.Errors = r.Errors
 	if r.Arch != nil {
 		ls := &LifecycleSummary{Devices: r.Config.Population.Devices}
 		for _, k := range lifecycle.Kinds() {
@@ -362,6 +398,17 @@ func (s Summary) WriteCSV(w io.Writer) error {
 	row("scalar", "total_bins", u(s.TotalBins), "", "", "", "", "", "", "", "", "")
 	row("scalar", "silent_fraction", "", f(s.SilentFraction), "", "", "", "", "", "", "", "")
 	row("scalar", "mean_update_rate_hz", "", f(s.MeanUpdateRateHz), "", "", "", "", "", "", "", "")
+	// Failure/degradation rows appear only when present, so fault-free
+	// CSV output stays byte-identical.
+	if s.Partial {
+		row("scalar", "partial/"+s.PartialReason, u(uint64(s.CommittedHomes)), "", "", "", "", "", "", "", "", "")
+	}
+	if s.FailedHomes > 0 {
+		row("scalar", "failed_homes", u(uint64(s.FailedHomes)), "", "", "", "", "", "", "", "", "")
+	}
+	for _, e := range s.Errors {
+		row("error", e.Label, u(uint64(e.Index)), "", "", "", "", "", "", "", "", e.Msg)
+	}
 	curve := func(name string, pts []stats.Point) {
 		for _, p := range pts {
 			row("cdf", name, "", f(p.X), f(p.Y), "", "", "", "", "", "", "")
@@ -404,6 +451,16 @@ func (s Summary) WriteText(w io.Writer) error {
 	}
 	p("fleet: %d homes x %.0f h (seed %d, bin %.0f s, window %.0f ms)",
 		s.Homes, s.Hours, s.Seed, s.BinWidthS, s.WindowS*1000)
+	if s.Partial {
+		p("PARTIAL RESULT (%s): aggregates cover the committed prefix of %d/%d homes",
+			s.PartialReason, s.CommittedHomes, s.Homes)
+	}
+	if s.FailedHomes > 0 {
+		p("failed homes: %d quarantined (contribute to no aggregate)", s.FailedHomes)
+		for _, e := range s.Errors {
+			p("  home %d (%s): %d attempt(s): %s", e.Index, e.Label, e.Attempts, e.Msg)
+		}
+	}
 	p("population: %d-%d users, <=%d devices/user, ~%.0f neighbor APs (cap %d), weekend %.2f, sensor %.0f-%.0f ft",
 		s.Population.MinUsers, s.Population.MaxUsers, s.Population.MaxDevicesPerUser,
 		s.Population.MeanNeighborAPs, s.Population.MaxNeighborAPs,

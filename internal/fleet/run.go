@@ -3,12 +3,15 @@ package fleet
 import (
 	"context"
 	"errors"
-	"os"
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/deploy"
+	"repro/internal/faultinject"
 	"repro/internal/harvester"
 	"repro/internal/lifecycle"
 	"repro/internal/surface"
@@ -66,6 +69,13 @@ type Hooks struct {
 	// is resumed from, and the resumed output is bit-identical to an
 	// uninterrupted run at any worker count. See Checkpoint.
 	Checkpoint *Checkpoint
+	// Faults, if non-nil, arms the deterministic failure-injection
+	// registry (internal/faultinject) for this run: home panics and
+	// stalls fire keyed by home index, checkpoint write faults keyed by
+	// the session's write generation. Reserved for tests and chaos
+	// certification; production runs leave it nil (one branch, zero
+	// overhead).
+	Faults *faultinject.Set
 }
 
 // worker is one shard's pooled per-worker state: the sampling context,
@@ -80,25 +90,39 @@ type worker struct {
 	synthRng *xrand.Rand
 	p        *partial
 	probe    *telemetry.Probe
+	fi       *faultinject.Set
 	devs     [lifecycle.NumKinds]*lifecycle.Device
 	// batch is the worker's reusable struct-of-arrays bin buffer; the
 	// batched kernel refills it per home without reallocating.
 	batch deploy.BinBatch
 }
 
-func newWorker(cfg Config, p *partial, probe *telemetry.Probe) *worker {
+func newWorker(cfg Config, p *partial, probe *telemetry.Probe, fi *faultinject.Set) *worker {
 	w := &worker{
 		cfg:      cfg,
 		smp:      acquireSampler(probe),
 		synthRng: xrand.New(0),
 		p:        p,
 		probe:    probe,
+		fi:       fi,
 	}
 	// Attach (or, with telemetry off, explicitly detach) the counters on
 	// every acquisition, so a pooled sampler can never count into a
 	// previous run's metrics.
 	w.smp.Instrument(probe.Sampler(), probe.Surface())
 	return w
+}
+
+// refresh replaces the worker's sampling context after a panicking
+// attempt: the pooled context may hold arbitrary mid-bin state, so it
+// is dropped on the floor (never returned to the pool) and a fresh one
+// is built for the retry. A Sampler re-derives everything from
+// (seed, labels) per bin, so the retry's output is identical to what a
+// first-attempt success would have produced.
+func (w *worker) refresh() {
+	w.smp.Instrument(nil, nil)
+	w.smp = deploy.NewSampler()
+	w.smp.Instrument(w.probe.Sampler(), w.probe.Surface())
 }
 
 func (w *worker) release() {
@@ -159,12 +183,25 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res := newResult(cfg)
+	t := h.Telemetry
+
+	// Degradation deadline: a child context bounds the run's wall
+	// clock. outer stays distinct so caller cancellation (an error)
+	// remains distinguishable from budget expiry (a partial result).
+	outer := ctx
+	if cfg.Deadline > 0 {
+		var cancelDeadline context.CancelFunc
+		ctx, cancelDeadline = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancelDeadline()
+	}
 
 	// Checkpoint/resume setup: restore the reducer's committed prefix
-	// from an existing checkpoint (homes [0, start) are already folded
-	// into res) and derive the periodic write cadence.
+	// from the latest intact checkpoint generation (homes [0, start)
+	// are already folded into the returned result) and derive the
+	// periodic write cadence.
 	ck := h.Checkpoint
+	var ckw *ckWriter
+	var res *Result
 	start := 0
 	ckEvery := defaultCheckpointEvery
 	if ck != nil {
@@ -178,24 +215,26 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 			ckEvery = ck.Every
 		}
 		var err error
-		if start, err = loadCheckpoint(ck, cfg, res); err != nil {
+		if start, res, err = loadCheckpoint(ck, cfg, t); err != nil {
 			return nil, err
 		}
+		ckw = &ckWriter{ck: ck, cfg: cfg, fi: h.Faults, t: t}
+	} else {
+		res = newResult(cfg)
 	}
 	// saveOnAbort writes the committed prefix when the run stops early;
 	// with checkpointing off it is a no-op.
 	saveOnAbort := func(next int) error {
-		if ck == nil {
+		if ckw == nil {
 			return nil
 		}
-		return writeCheckpoint(ck, cfg, res, next)
+		return ckw.write(res, next)
 	}
 
 	// Telemetry setup. When enabled, the operating-point surfaces the
 	// run will query are built up front under their own span — the build
 	// is deterministic and process-cached, so warming changes no output,
 	// but it keeps the one-time cost out of the simulate span.
-	t := h.Telemetry
 	runStart := time.Now()
 	var memStart runtime.MemStats
 	if t != nil {
@@ -210,10 +249,12 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 		}
 	}
 	homesC := t.Counter(telemetry.CounterHomes)
+	failC := t.FailureCounters()
 
 	// finish stamps the run manifest and throughput gauges once the
-	// result is complete.
-	finish := func() {
+	// result is complete; done is the number of homes simulated this
+	// session (a resumed or partial run covers only its own tail).
+	finish := func(done int) {
 		if t == nil {
 			return
 		}
@@ -227,9 +268,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 			ElapsedS:   elapsed,
 		}
 		if elapsed > 0 {
-			// Throughput counts homes simulated this session: a resumed
-			// run only paid for the tail after its checkpoint.
-			m.HomesPerSec = float64(cfg.Homes-start) / elapsed
+			m.HomesPerSec = float64(done) / elapsed
 			t.Gauge(telemetry.GaugeBinsPerSec).Set(float64(res.TotalBins) / elapsed)
 		}
 		t.SetManifest(m)
@@ -245,20 +284,44 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	// reports whether the run should continue. With checkpointing on,
 	// the committed prefix is written every ckEvery homes and on a Home
 	// hook stop, always after the fold — the checkpoint describes
-	// exactly the homes the reducer has committed.
+	// exactly the homes the reducer has committed. Exhausted homes
+	// (hs.fail) arrive through the same reorder buffer, so the failure
+	// policy applies at a deterministic, workers-invariant point of the
+	// reduce order.
 	deliver := func(hs homeStats) (bool, error) {
-		res.addHome(hs)
-		homesC.Inc()
-		committed := hs.idx + 1
-		if h.Home != nil && !h.Home(hs.record()) {
-			err := ErrStopped
-			if werr := saveOnAbort(committed); werr != nil {
-				err = errors.Join(err, werr)
+		if hs.fail != nil {
+			if cfg.Policy.failFast() {
+				// Checkpoint the prefix *below* the failed home so a
+				// resume re-attempts exactly it.
+				err := error(hs.fail)
+				if werr := saveOnAbort(hs.idx); werr != nil {
+					err = errors.Join(err, werr)
+				}
+				return false, err
 			}
-			return false, err
+			// Quarantine: the committed prefix advances past the home;
+			// it contributes to no aggregate and the Home hook never
+			// sees it. The structured error lands in Result.Errors (and
+			// in the checkpoint, so a resumed report is identical).
+			res.Errors = append(res.Errors, *hs.fail)
+			failC.Quarantined()
+			if cfg.MaxFailedHomes > 0 && len(res.Errors) > cfg.MaxFailedHomes {
+				return false, &partialStop{reason: PartialFailureBudget, committed: hs.idx + 1}
+			}
+		} else {
+			res.addHome(hs)
+			homesC.Inc()
+			if h.Home != nil && !h.Home(hs.record()) {
+				err := ErrStopped
+				if werr := saveOnAbort(hs.idx + 1); werr != nil {
+					err = errors.Join(err, werr)
+				}
+				return false, err
+			}
 		}
-		if ck != nil && committed < cfg.Homes && (committed-start)%ckEvery == 0 {
-			if err := writeCheckpoint(ck, cfg, res, committed); err != nil {
+		committed := hs.idx + 1
+		if ckw != nil && committed < cfg.Homes && (committed-start)%ckEvery == 0 {
+			if err := ckw.write(res, committed); err != nil {
 				return false, err
 			}
 		}
@@ -266,6 +329,28 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 			h.Progress(committed, cfg.Homes)
 		}
 		return true, nil
+	}
+
+	// finishPartial ends the run on a tripped degradation budget:
+	// budgets are contracts, not failures, so the caller gets the
+	// committed prefix as a Result marked Partial — plus a final,
+	// resumable checkpoint — instead of an error.
+	finishPartial := func(reason string, committed int, parts []*partial) (*Result, error) {
+		res.Partial = true
+		res.PartialReason = reason
+		res.CommittedHomes = committed
+		if ckw != nil {
+			if err := ckw.write(res, committed); err != nil {
+				return nil, err
+			}
+		}
+		endReduce := t.Span(telemetry.SpanReduce)
+		for _, p := range parts {
+			res.mergePartial(p)
+		}
+		endReduce()
+		finish(committed - start)
+		return res, nil
 	}
 
 	// Serial fast path: with one worker there is no sharding to
@@ -277,11 +362,17 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	if cfg.Workers == 1 {
 		p := newPartial(cfg)
 		endSim := t.Span(telemetry.SpanSimulate)
-		w := newWorker(cfg, p, t.NewProbe())
+		w := newWorker(cfg, p, t.NewProbe(), h.Faults)
 		for i := start; i < cfg.Homes; i++ {
 			hs, ok := w.runHome(ctx, i)
 			if !ok {
 				w.release()
+				endSim()
+				if outer.Err() == nil && ctx.Err() != nil {
+					// The run's own deadline expired, not the caller's
+					// context: the committed prefix is the deliverable.
+					return finishPartial(PartialDeadline, i, []*partial{p})
+				}
 				err := ctx.Err()
 				if werr := saveOnAbort(i); werr != nil {
 					err = errors.Join(err, werr)
@@ -290,6 +381,10 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 			}
 			if cont, err := deliver(hs); !cont {
 				w.release()
+				endSim()
+				if ps, budget := err.(*partialStop); budget {
+					return finishPartial(ps.reason, ps.committed, []*partial{p})
+				}
 				return nil, err
 			}
 		}
@@ -298,9 +393,9 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 		endReduce := t.Span(telemetry.SpanReduce)
 		res.mergePartial(p)
 		endReduce()
-		finish()
-		if ck != nil {
-			_ = os.Remove(ck.Path) // a completed run needs no resume point
+		finish(cfg.Homes - start)
+		if ckw != nil {
+			ckw.remove() // a completed run needs no resume point
 		}
 		return res, nil
 	}
@@ -325,7 +420,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 			// router, monitors and traffic sources are built once and reset
 			// per bin, so the steady-state hot path stops paying allocator
 			// and GC tax. Pooling is output-invisible (see deploy.Sampler).
-			w := newWorker(cfg, p, t.NewProbe())
+			w := newWorker(cfg, p, t.NewProbe(), h.Faults)
 			defer w.release()
 			for idx := range jobs {
 				hs, ok := w.runHome(ctx, idx)
@@ -381,12 +476,20 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 		}
 	}
 	endSim()
+	if ps, budget := stopErr.(*partialStop); budget {
+		return finishPartial(ps.reason, ps.committed, partials)
+	}
 	if stopErr != nil {
 		return nil, stopErr // deliver already wrote the stop checkpoint
 	}
 	if err := ctx.Err(); err != nil {
-		// The reorder buffer's parked homes beyond `next` are discarded:
-		// the checkpoint must describe a contiguous committed prefix.
+		if outer.Err() == nil && cfg.Deadline > 0 {
+			// The run's own deadline expired, not the caller's context.
+			// The reorder buffer's parked homes beyond `next` are
+			// discarded: a partial result, like a checkpoint, must
+			// describe a contiguous committed prefix.
+			return finishPartial(PartialDeadline, next, partials)
+		}
 		if werr := saveOnAbort(next); werr != nil {
 			err = errors.Join(err, werr)
 		}
@@ -400,14 +503,36 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 		res.mergePartial(p)
 	}
 	endReduce()
-	finish()
-	if ck != nil {
-		_ = os.Remove(ck.Path) // a completed run needs no resume point
+	finish(cfg.Homes - start)
+	if ckw != nil {
+		ckw.remove() // a completed run needs no resume point
 	}
 	return res, nil
 }
 
-// runHome simulates one synthesized home on the worker's pooled
+// runHome runs one home under the worker's supervisor: a panicking
+// attempt is recovered into a structured HomeError, the failure
+// policy's retries re-run the home on a fresh (never pooled back)
+// sampler, and a home whose attempts are exhausted rides the reorder
+// buffer as a failed homeStats so the reducer applies the policy at a
+// deterministic, workers-invariant point. ok == false only means
+// context cancellation.
+func (w *worker) runHome(ctx context.Context, idx int) (homeStats, bool) {
+	for attempt := 1; ; attempt++ {
+		hs, ok, ferr := w.attemptHome(ctx, idx)
+		if ferr == nil {
+			return hs, ok
+		}
+		ferr.Attempts = attempt
+		if attempt > w.cfg.Policy.Retry {
+			return homeStats{idx: idx, fail: ferr}, true
+		}
+		w.probe.Failure().Retry()
+		w.refresh()
+	}
+}
+
+// attemptHome simulates one synthesized home on the worker's pooled
 // sampler through the batched kernel: the home's bins land in the
 // worker's reusable struct-of-arrays buffer (deploy.RunBatch, or
 // RunBatchCoarse on the coarse tier), the scalar summary and the
@@ -415,9 +540,28 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 // batch, and — in lifecycle mode — the pooled lifecycle device walks
 // the batch in bin order. The context is checked once per event-
 // simulated bin; on cancellation the home is abandoned mid-batch and
-// runHome reports ok == false (its fold is discarded along with the
-// whole run).
-func (w *worker) runHome(ctx context.Context, idx int) (hs homeStats, ok bool) {
+// attemptHome reports ok == false (its fold is discarded along with
+// the whole run). A panic anywhere in the attempt is recovered into
+// ferr; the partially built hs is discarded by the caller.
+func (w *worker) attemptHome(ctx context.Context, idx int) (hs homeStats, ok bool, ferr *HomeError) {
+	defer func() {
+		if r := recover(); r != nil {
+			ferr = &HomeError{
+				Index: idx,
+				Label: "fleet/home/" + strconv.Itoa(idx),
+				Msg:   fmt.Sprint(r),
+				Stack: string(debug.Stack()),
+			}
+		}
+	}()
+	if f := w.fi.Hit(faultinject.HomeSlow, idx); f != nil {
+		w.probe.Failure().Fault()
+		time.Sleep(f.Delay)
+	}
+	if f := w.fi.Hit(faultinject.HomePanic, idx); f != nil {
+		w.probe.Failure().Fault()
+		panic(faultinject.PanicValue{Site: f.Site, Key: idx})
+	}
 	cfg := w.cfg
 	h := synthesizeHome(w.synthRng, cfg, idx)
 	var dev *lifecycle.Device
@@ -441,11 +585,11 @@ func (w *worker) runHome(ctx context.Context, idx int) (hs homeStats, ok bool) {
 		done = w.smp.RunBatch(h.HomeConfig, opts, b, gate)
 	}
 	if !done {
-		return homeStats{}, false
+		return homeStats{}, false, nil
 	}
 	nBins := b.Len()
 	if nBins == 0 {
-		return homeStats{idx: idx, home: h}, true
+		return homeStats{idx: idx, home: h}, true, nil
 	}
 
 	// One backing array, sliced into the three per-bin fold columns that
@@ -508,5 +652,5 @@ func (w *worker) runHome(ctx context.Context, idx int) (hs homeStats, ok bool) {
 			minSoC:      m.MinSoC,
 		}
 	}
-	return hs, true
+	return hs, true, nil
 }

@@ -103,6 +103,34 @@ func (c *LifecycleCounters) LedgerEvent() {
 	}
 }
 
+// FailureCounters counts the failure path: injected faults, per-home
+// retry attempts, and homes quarantined under the skip policy. All
+// methods are nil-safe.
+type FailureCounters struct {
+	faults, retries, quarantined *Counter
+}
+
+// Fault counts one injected fault firing.
+func (c *FailureCounters) Fault() {
+	if c != nil {
+		c.faults.Inc()
+	}
+}
+
+// Retry counts one home re-attempt after a recovered panic.
+func (c *FailureCounters) Retry() {
+	if c != nil {
+		c.retries.Inc()
+	}
+}
+
+// Quarantined counts one home skipped after exhausting its attempts.
+func (c *FailureCounters) Quarantined() {
+	if c != nil {
+		c.quarantined.Inc()
+	}
+}
+
 // SurfaceCounters returns the run's surface counter group (one shared
 // instance; the underlying counters are atomic). Nil on a nil Run.
 func (t *Run) SurfaceCounters() *SurfaceCounters {
@@ -154,6 +182,23 @@ func (t *Run) LifecycleCounters() *LifecycleCounters {
 	return t.lifecycle
 }
 
+// FailureCounters returns the run's failure counter group. Nil on a
+// nil Run.
+func (t *Run) FailureCounters() *FailureCounters {
+	if t == nil {
+		return nil
+	}
+	faults := t.Counter(CounterFaultsInjected)
+	retries := t.Counter(CounterHomeRetries)
+	quar := t.Counter(CounterHomesQuarantined)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failure == nil {
+		t.failure = &FailureCounters{faults: faults, retries: retries, quarantined: quar}
+	}
+	return t.failure
+}
+
 // Probe is one worker's view of the run telemetry. Counters go
 // straight to the run's shared atomics (commutative, so sharding never
 // changes the totals); distribution samples accumulate in a private
@@ -200,6 +245,14 @@ func (p *Probe) Lifecycle() *LifecycleCounters {
 		return nil
 	}
 	return p.run.LifecycleCounters()
+}
+
+// Failure returns the run's failure counter group.
+func (p *Probe) Failure() *FailureCounters {
+	if p == nil {
+		return nil
+	}
+	return p.run.FailureCounters()
 }
 
 // ObserveHome records one completed home: its silent-bin count folds

@@ -54,6 +54,16 @@ const (
 	CounterLifecycleBrownouts = "lifecycle_brownouts"
 	CounterLifecycleLedger    = "lifecycle_ledger_events"
 
+	// Failure-path counters. Faults/retries/quarantines are decided per
+	// home index by the deterministic fault registry and failure policy,
+	// so their totals are workers-invariant like any work counter.
+	// Checkpoint rotation/fallback counts are I/O-session observations.
+	CounterFaultsInjected      = "faults_injected"
+	CounterHomeRetries         = "home_retries"
+	CounterHomesQuarantined    = "homes_quarantined"
+	CounterCheckpointRotations = "checkpoint_rotations"
+	CounterCheckpointFallbacks = "checkpoint_fallbacks"
+
 	// Scheduling diagnostics: legitimately vary with the worker count.
 	SchedPoolHits   = "sampler_pool_hits"
 	SchedPoolMisses = "sampler_pool_misses"
@@ -92,6 +102,7 @@ type Run struct {
 	surface   *SurfaceCounters
 	sampler   *SamplerCounters
 	lifecycle *LifecycleCounters
+	failure   *FailureCounters
 }
 
 // NewRun returns an empty enabled collector.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/deploy"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/fleet"
 	"repro/internal/lifecycle"
 	"repro/internal/phy"
@@ -64,6 +65,10 @@ type Scenario struct {
 	telemetry  *Telemetry
 	metricsTo  io.Writer
 	checkpoint string
+	policy     FailurePolicy
+	deadline   time.Duration
+	maxFailed  int
+	faults     string
 }
 
 // optSet tracks which options a scenario carries, so zero values the
@@ -90,6 +95,10 @@ const (
 	optTelemetry
 	optMetricsSink
 	optCheckpoint
+	optPolicy
+	optDeadline
+	optMaxFailed
+	optFaults
 )
 
 // Option configures a Scenario under construction.
@@ -297,6 +306,76 @@ func WithCheckpoint(path string) Option {
 	}
 }
 
+// WithFailurePolicy decides what a per-home worker failure (a panic
+// inside the simulation of one home) does to a fleet run. The default
+// zero policy fails fast: the run aborts with a structured *HomeError
+// naming the home. Retry re-runs the failed home up to n more times on
+// a fresh sampler; Skip quarantines homes that exhaust their retries
+// into the report's Errors section and keeps going. Failure handling
+// is workers-invariant: the same homes fail, retry and quarantine — in
+// home-index order — at any WithWorkers value. Incompatible with
+// WithDevices (lifecycle ledgers accumulate outside the committed home
+// prefix).
+func WithFailurePolicy(p FailurePolicy) Option {
+	return func(s *Scenario) error {
+		if p.Retry < 0 {
+			return fmt.Errorf("powifi: FailurePolicy.Retry = %d, need >= 0", p.Retry)
+		}
+		s.policy, s.set = p, s.set|optPolicy
+		return nil
+	}
+}
+
+// WithDeadline bounds a fleet run's wall-clock time. When it expires
+// the run stops gracefully: the committed home prefix is reduced, a
+// final checkpoint is written (under WithCheckpoint), and Run returns
+// a Report whose fleet summary is marked Partial with reason
+// "deadline" — not an error. Cancelling the context remains an error;
+// only the deadline degrades gracefully. Incompatible with
+// WithDevices.
+func WithDeadline(d time.Duration) Option {
+	return func(s *Scenario) error {
+		if d <= 0 {
+			return fmt.Errorf("powifi: deadline %v, need > 0", d)
+		}
+		s.deadline, s.set = d, s.set|optDeadline
+		return nil
+	}
+}
+
+// WithMaxFailedHomes caps the number of quarantined homes a Skip
+// policy tolerates. Exceeding the cap ends the run with a partial
+// fleet summary (reason "failure_budget") covering the committed
+// prefix. Requires a WithFailurePolicy with Skip set.
+func WithMaxFailedHomes(n int) Option {
+	return func(s *Scenario) error {
+		if n <= 0 {
+			return fmt.Errorf("powifi: MaxFailedHomes = %d, need > 0", n)
+		}
+		s.maxFailed, s.set = n, s.set|optMaxFailed
+		return nil
+	}
+}
+
+// WithFaults arms deterministic fault injection for a fleet run —
+// the chaos-certification hook behind the CLI's hidden -faults flag.
+// The spec grammar is internal/faultinject's Parse form
+// ("site@key[,times=N][,delay=D]" joined by ";"); faults derive from
+// the run seed, so an armed run is as reproducible as a clean one.
+// Execution state: excluded from the scenario's JSON form.
+func WithFaults(spec string) Option {
+	return func(s *Scenario) error {
+		if spec == "" {
+			return errors.New("powifi: empty fault spec")
+		}
+		if _, err := faultinject.Parse(0, spec); err != nil {
+			return fmt.Errorf("powifi: %v", err)
+		}
+		s.faults, s.set = spec, s.set|optFaults
+		return nil
+	}
+}
+
 // validate checks that the applied options describe exactly one mode.
 func (s *Scenario) validate() error {
 	switch {
@@ -319,6 +398,9 @@ func (s *Scenario) validate() error {
 		}
 		if s.set&optCheckpoint != 0 {
 			return errors.New("powifi: WithCheckpoint applies only to fleet scenarios (single homes simulate in well under a second)")
+		}
+		if s.set&(optPolicy|optDeadline|optMaxFailed|optFaults) != 0 {
+			return errors.New("powifi: WithFailurePolicy/WithDeadline/WithMaxFailedHomes/WithFaults apply only to fleet scenarios")
 		}
 	default:
 		if s.set&optSensor != 0 {
@@ -393,7 +475,30 @@ func (s *Scenario) fleetConfig() fleet.Config {
 	}
 	cfg.Exact = s.exact
 	cfg.Coarse = s.coarse
+	if s.set&optPolicy != 0 {
+		cfg.Policy = s.policy
+	}
+	if s.set&optDeadline != 0 {
+		cfg.Deadline = s.deadline
+	}
+	if s.set&optMaxFailed != 0 {
+		cfg.MaxFailedHomes = s.maxFailed
+	}
 	return cfg
+}
+
+// fleetFaults arms the WithFaults spec against the run's resolved seed
+// (nil when the option is absent). The spec was validated at option
+// time; re-parsing with the real seed cannot fail.
+func (s *Scenario) fleetFaults(cfg fleet.Config) *faultinject.Set {
+	if s.set&optFaults == 0 {
+		return nil
+	}
+	fi, err := faultinject.Parse(cfg.Seed, s.faults)
+	if err != nil {
+		panic("powifi: validated fault spec failed to re-parse: " + err.Error())
+	}
+	return fi
 }
 
 // fleetCheckpoint translates the WithCheckpoint path into the engine's
@@ -411,7 +516,13 @@ func (s *Scenario) runFleet(ctx context.Context) (*Report, error) {
 		// A sink without an explicit collector still needs one to write.
 		t = NewTelemetry()
 	}
-	res, err := fleet.RunWith(ctx, s.fleetConfig(), fleet.Hooks{Progress: s.progress, Telemetry: t, Checkpoint: s.fleetCheckpoint()})
+	cfg := s.fleetConfig()
+	res, err := fleet.RunWith(ctx, cfg, fleet.Hooks{
+		Progress:   s.progress,
+		Telemetry:  t,
+		Checkpoint: s.fleetCheckpoint(),
+		Faults:     s.fleetFaults(cfg),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -629,9 +740,11 @@ func (s *Scenario) Homes(ctx context.Context) iter.Seq2[HomeRecord, error] {
 			return
 		}
 		stopped := false
-		_, err := fleet.RunWith(ctx, s.fleetConfig(), fleet.Hooks{
+		cfg := s.fleetConfig()
+		_, err := fleet.RunWith(ctx, cfg, fleet.Hooks{
 			Progress:   s.progress,
 			Checkpoint: s.fleetCheckpoint(),
+			Faults:     s.fleetFaults(cfg),
 			Home: func(r fleet.HomeRecord) bool {
 				if !yield(r, nil) {
 					stopped = true

@@ -35,6 +35,9 @@ type scenarioJSON struct {
 	SensorFt   *float64         `json:"sensor_ft,omitempty"`
 	Experiment string           `json:"experiment,omitempty"`
 	Full       *bool            `json:"full,omitempty"`
+	Policy     *FailurePolicy   `json:"failure_policy,omitempty"`
+	Deadline   string           `json:"deadline,omitempty"`
+	MaxFailed  *int             `json:"max_failed,omitempty"`
 }
 
 // MarshalJSON renders the scenario's declarative form: only explicitly
@@ -86,6 +89,16 @@ func (s *Scenario) MarshalJSON() ([]byte, error) {
 	}
 	if s.set&optFull != 0 {
 		sj.Full = &s.full
+	}
+	if s.set&optPolicy != 0 {
+		p := s.policy
+		sj.Policy = &p
+	}
+	if s.set&optDeadline != 0 {
+		sj.Deadline = s.deadline.String()
+	}
+	if s.set&optMaxFailed != 0 {
+		sj.MaxFailed = &s.maxFailed
 	}
 	return json.Marshal(sj)
 }
@@ -164,6 +177,15 @@ func LoadScenario(data []byte) (*Scenario, error) {
 	}
 	if sj.Full != nil {
 		opts = append(opts, WithFull(*sj.Full))
+	}
+	if sj.Policy != nil {
+		opts = append(opts, WithFailurePolicy(*sj.Policy))
+	}
+	if err := dur("deadline", sj.Deadline, WithDeadline); err != nil {
+		return nil, err
+	}
+	if sj.MaxFailed != nil {
+		opts = append(opts, WithMaxFailedHomes(*sj.MaxFailed))
 	}
 
 	sc, err := NewScenario(opts...)
