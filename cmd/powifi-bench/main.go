@@ -50,9 +50,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	metrAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/vars on this address (fleet scenarios only)")
+	trOut := fs.String("trace", "", "write the run's trace to this file in Chrome trace-event JSON (fleet scenarios only)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: powifi-bench [-full] [-exact] <experiment id>... | all\n"+
-			"       powifi-bench -scenario file.json\n\nexperiments:\n")
+			"       powifi-bench -scenario file.json [-metrics-addr addr] [-trace file.json]\n\nexperiments:\n")
 		for _, id := range powifi.Experiments() {
 			fmt.Fprintf(stderr, "  %-7s %s\n", id, powifi.DescribeExperiment(id))
 		}
@@ -81,7 +82,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "cpuprofile", "memprofile", "metrics-addr":
+			case "scenario", "cpuprofile", "memprofile", "metrics-addr", "trace":
 			default:
 				conflicts = append(conflicts, "-"+f.Name)
 			}
@@ -124,7 +125,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			defer powifi.ServeMetrics(ln, powifi.MetricsHandler(tel))()
 			fmt.Fprintf(stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
 		}
+		var traceFile *os.File
+		if *trOut != "" {
+			// Tracing is fleet-only, like telemetry: reject other modes
+			// up front rather than emitting an empty trace.
+			if sc.Mode() != powifi.ModeFleet {
+				fmt.Fprintf(stderr, "-trace requires a fleet scenario (got mode %q)\n", sc.Mode())
+				return 2
+			}
+			f, err := os.Create(*trOut)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			traceFile = f
+			if sc, err = sc.With(powifi.WithTraceOutput(f)); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
 		rep, err := sc.Run(ctx)
+		if traceFile != nil {
+			// The trace bytes are written during Run; only the close can
+			// still fail here.
+			if cerr := traceFile.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -138,6 +165,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	if *metrAddr != "" {
 		fmt.Fprintln(stderr, "-metrics-addr requires -scenario with a fleet scenario")
+		return 2
+	}
+	if *trOut != "" {
+		fmt.Fprintln(stderr, "-trace requires -scenario with a fleet scenario")
 		return 2
 	}
 	if fs.NArg() == 0 {

@@ -71,7 +71,13 @@
 // Prometheus text format, -metrics-addr HOST:PORT serves live /metrics
 // and /debug/vars during the run, and -progress draws a live stderr
 // ticker on interactive terminals (silently skipped when stderr is
-// redirected). All four compose with -scenario.
+// redirected). -trace FILE records the run's span tree (run → phase →
+// worker → home → bin-batch) and per-home flight recorders and writes
+// them to FILE in Chrome trace-event JSON, loadable in Perfetto or
+// about://tracing; the json report gains a "trace" section whose
+// deterministic half is bit-identical at any -workers value. With
+// -telemetry the stderr timing line is followed by a table of the
+// slowest homes. All of these compose with -scenario.
 //
 // Examples:
 //
@@ -134,6 +140,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		metrOut  = fs.String("metrics-out", "", "write run metrics to this file in Prometheus text format (implies -telemetry)")
 		metrAddr = fs.String("metrics-addr", "", "serve live /metrics and /debug/vars on this address (implies -telemetry)")
 		progress = fs.Bool("progress", false, "show a live progress line on stderr (interactive terminals only)")
+		trOut    = fs.String("trace", "", "write the run's trace (span tree + per-home flight recorders) to this file in Chrome trace-event JSON")
 		ckptPath = fs.String("checkpoint", "", "periodically checkpoint the run to this file and resume from it if present; removed on success")
 		retry    = fs.Int("retry", 0, "re-attempt each failed home up to this many more times")
 		skipF    = fs.Bool("skip-failed", false, "quarantine homes that exhaust their retries instead of aborting")
@@ -165,7 +172,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "scenario", "format", "q", "cpuprofile", "memprofile",
-				"telemetry", "metrics-out", "metrics-addr", "progress", "checkpoint", "faults":
+				"telemetry", "metrics-out", "metrics-addr", "progress", "trace",
+				"checkpoint", "faults":
 			default:
 				conflicts = append(conflicts, "-"+f.Name)
 			}
@@ -235,6 +243,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		prog = newProgressTicker(stderr, time.Now)
 		extra = append(extra, powifi.WithProgress(prog.update))
 	}
+	var traceFile *os.File
+	if *trOut != "" {
+		f, err := os.Create(*trOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		traceFile = f
+		extra = append(extra, powifi.WithTraceOutput(f))
+	}
 	if *ckptPath != "" {
 		extra = append(extra, powifi.WithCheckpoint(*ckptPath))
 	}
@@ -277,6 +295,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	start := time.Now()
 	rep, err := sc.Run(ctx)
 	prog.finish()
+	if traceFile != nil {
+		// The trace bytes are written during Run; only the close can
+		// still fail here.
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -288,6 +313,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintf(stderr, "completed %s scenario in %v\n",
 				rep.Mode, time.Since(start).Round(time.Millisecond))
+		}
+		if tel != nil {
+			writeSlowHomes(stderr, tel)
 		}
 	}
 	endWrite := func() {}
@@ -325,6 +353,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 3
 	}
 	return 0
+}
+
+// writeSlowHomes prints the telemetry collector's slowest-homes table
+// (label, wall time, dominant span) to stderr. It is diagnostic output
+// like the timing line: stdout stays byte-identical with or without it.
+func writeSlowHomes(w io.Writer, tel *powifi.Telemetry) {
+	snap := tel.Snapshot()
+	if len(snap.SlowHomes) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "slowest homes:")
+	for _, s := range snap.SlowHomes {
+		fmt.Fprintf(w, "  %-18s %10.1f ms  %s\n", s.Label, s.WallMS, s.DominantSpan)
+	}
 }
 
 // writeMetricsFile dumps the collector's Prometheus text export to path.

@@ -65,7 +65,13 @@
 // WithMetricsSink writes the Prometheus text export on completion,
 // MetricsHandler serves live /metrics and /debug/vars, and
 // ServeMetrics mounts that handler on a listener with graceful
-// shutdown. Execution-state options (WithTelemetry, WithProgress,
+// shutdown. WithTrace deepens that into per-run tracing: a span tree
+// (run → phase → worker → home → bin-batch) plus a per-home flight
+// recorder whose rings are retained for failed and most-escalated
+// homes (the Report gains an additive "trace" section, quarantined
+// homes carry their dumps on the *HomeError), and WithTraceOutput
+// writes the run's trace as Chrome trace-event JSON for Perfetto.
+// Execution-state options (WithTelemetry, WithTrace, WithProgress,
 // WithCheckpoint) are excluded from the scenario JSON; attach them to
 // a loaded scenario with Scenario.With.
 //

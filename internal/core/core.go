@@ -23,6 +23,7 @@ import (
 	"repro/internal/sensors"
 	"repro/internal/surface"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -182,6 +183,19 @@ func countOutcome(t *telemetry.SurfaceCounters, out surface.Outcome) {
 	}
 }
 
+// noteOutcome feeds one surface query outcome to whichever observers
+// the device carries: the telemetry counters and the flight recorder
+// (which keeps only the anomalous outcomes). Nil observers no-op.
+func (d *TempSensorDevice) noteOutcome(out surface.Outcome) {
+	countOutcome(d.Tele, out)
+	switch out {
+	case surface.OutcomeGuardBand:
+		d.Trace.SurfaceGuard()
+	case surface.OutcomeExact:
+		d.Trace.SurfaceExact()
+	}
+}
+
 // linkExpander is the per-device scratch + memo for materializing a
 // PowerLink's occupied channels without allocating: reusable channel/
 // occupancy buffers, and a link-budget memo keyed on the link geometry.
@@ -270,6 +284,11 @@ type TempSensorDevice struct {
 	// on the direct solver (Exact, or the surface globally disabled)
 	// are not surface queries and are not counted.
 	Tele *telemetry.SurfaceCounters
+	// Trace, when set, records exact-fallback and guard-band surface
+	// outcomes into the current home's flight recorder under the same
+	// out-of-band contract as Tele (grid hits are the steady state and
+	// are not recorded — the ring keeps anomalies).
+	Trace *trace.HomeTrace
 
 	surf *surface.Surface // memoized by solverFor
 	exp  linkExpander
@@ -299,9 +318,9 @@ func NewRechargingTempSensor() *TempSensorDevice {
 func (d *TempSensorDevice) NetHarvestedW(link PowerLink) float64 {
 	chans, occ := d.exp.expand(link)
 	s := solverFor(d.Harvester, d.Exact, &d.surf)
-	if surf, ok := s.(*surface.Surface); ok && d.Tele != nil {
+	if surf, ok := s.(*surface.Surface); ok && (d.Tele != nil || d.Trace != nil) {
 		op, out := surf.BurstyOperatingOutcome(chans, occ)
-		countOutcome(d.Tele, out)
+		d.noteOutcome(out)
 		return op.HarvestedW
 	}
 	return s.BurstyOperating(chans, occ).HarvestedW
@@ -330,14 +349,14 @@ func (d *TempSensorDevice) UpdateRate(link PowerLink) float64 {
 func (d *TempSensorDevice) Evaluate(link PowerLink) (rateHz, netW float64) {
 	chans, occ := d.exp.expand(link)
 	s := solverFor(d.Harvester, d.Exact, &d.surf)
-	if surf, ok := s.(*surface.Surface); ok && d.Tele != nil {
+	if surf, ok := s.(*surface.Surface); ok && (d.Tele != nil || d.Trace != nil) {
 		boots, out := surf.CanBootBurstyOutcome(chans, occ)
-		countOutcome(d.Tele, out)
+		d.noteOutcome(out)
 		if !boots {
 			return 0, 0
 		}
 		op, out := surf.BurstyOperatingOutcome(chans, occ)
-		countOutcome(d.Tele, out)
+		d.noteOutcome(out)
 		netW = op.HarvestedW
 		return d.Sensor.UpdateRate(netW), netW
 	}
@@ -363,11 +382,14 @@ func (d *TempSensorDevice) EvaluateBatch(distanceFt float64, occupancy [][3]floa
 	surf, isSurf := s.(*surface.Surface)
 	for i := range occupancy {
 		chans, occ := d.exp.expand(PoWiFiLinkOccupancy(distanceFt, occupancy[i]))
-		if isSurf && d.Tele != nil {
+		if isSurf && (d.Tele != nil || d.Trace != nil) {
+			if d.Trace != nil {
+				d.Trace.SetBin(i)
+			}
 			w, boots, bootOut, opOut, opQueried := surf.EvaluateOutcome(chans, occ)
-			countOutcome(d.Tele, bootOut)
+			d.noteOutcome(bootOut)
 			if opQueried {
-				countOutcome(d.Tele, opOut)
+				d.noteOutcome(opOut)
 			}
 			if !boots {
 				rateHz[i], netW[i] = 0, 0

@@ -98,6 +98,9 @@ func (smp *Sampler) RunBatch(cfg HomeConfig, opts Options, b *BinBatch, each fun
 			smp.plan.clientLoad[bin], smp.plan.neighborLoad[bin], opts.Window)
 		b.Simulated[bin] = true
 		smp.tele.Bin()
+		if smp.tr != nil {
+			smp.tr.BinSimulated(bin, smp.sched.Scheduled())
+		}
 	}
 	smp.evaluateBatch(opts, b)
 	return true

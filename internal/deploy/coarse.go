@@ -1,6 +1,9 @@
 package deploy
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/trace"
+)
 
 // CoarseOptions tunes the error-bounded coarse tier. The zero value
 // selects the certified defaults; the certification suite in
@@ -100,6 +103,9 @@ func (smp *Sampler) RunBatchCoarse(cfg HomeConfig, opts Options, copts CoarseOpt
 			smp.plan.clientLoad[bin], smp.plan.neighborLoad[bin], opts.Window)
 		b.Simulated[bin] = true
 		smp.tele.Bin()
+		if smp.tr != nil {
+			smp.tr.BinSimulated(bin, smp.sched.Scheduled())
+		}
 		return true
 	}
 
@@ -155,6 +161,7 @@ func (smp *Sampler) RunBatchCoarse(cfg HomeConfig, opts Options, copts CoarseOpt
 			beta[c] = 0
 			alpha[c] = sy / n
 		}
+		smp.tr.OccFit(c, beta[c])
 	}
 	for bin := 0; bin < nBins; bin++ {
 		if b.Simulated[bin] {
@@ -195,6 +202,7 @@ func (smp *Sampler) RunBatchCoarse(cfg HomeConfig, opts Options, copts CoarseOpt
 	// its own).
 	for bin := 0; bin < nBins; bin++ {
 		if b.Simulated[bin] {
+			smp.tr.SetBin(bin)
 			link := core.PoWiFiLinkOccupancy(opts.SensorDistanceFt, b.Occupancy[bin])
 			b.SensorRate[bin], b.NetHarvestedW[bin] = smp.sensor.Evaluate(link)
 		}
@@ -222,6 +230,7 @@ func (smp *Sampler) RunBatchCoarse(cfg HomeConfig, opts Options, copts CoarseOpt
 		hBeta = 0
 		hAlpha = hsy / hn
 	}
+	smp.tr.HarvestFit(hBeta)
 
 	// Decision + guard pass. The decision surface (SensorRate > 0) is
 	// monotone in occupancy — more airtime is more incident energy — so
@@ -251,7 +260,8 @@ func (smp *Sampler) RunBatchCoarse(cfg HomeConfig, opts Options, copts CoarseOpt
 		a0, a1 := smp.coarseAnchors(bin, nBins, copts.Stride)
 		silent := b.SensorRate[a0] <= 0
 		if (b.SensorRate[a1] <= 0) != silent {
-			esc = append(esc, bin)
+			esc = append(esc, escalation{int32(bin), trace.EscConsensusSplit})
+			smp.tr.Escalate(bin, trace.EscConsensusSplit)
 			continue
 		}
 		occ := b.Occupancy[bin]
@@ -264,8 +274,10 @@ func (smp *Sampler) RunBatchCoarse(cfg HomeConfig, opts Options, copts CoarseOpt
 			case verdictAwake:
 				stable = false
 			default:
+				smp.tr.SetBin(bin)
 				stable = smp.silentAt(opts, occ, 1+copts.Guard)
 				guardHi.add(occ, stable)
+				smp.tr.GuardQuery(bin, stable)
 			}
 		} else {
 			// Must stay awake even with Guard less airtime.
@@ -275,12 +287,15 @@ func (smp *Sampler) RunBatchCoarse(cfg HomeConfig, opts Options, copts CoarseOpt
 			case verdictSilent:
 				stable = false
 			default:
+				smp.tr.SetBin(bin)
 				stable = !smp.silentAt(opts, occ, 1-copts.Guard)
 				guardLo.add(occ, !stable)
+				smp.tr.GuardQuery(bin, stable)
 			}
 		}
 		if !stable {
-			esc = append(esc, bin)
+			esc = append(esc, escalation{int32(bin), trace.EscGuardDisagree})
+			smp.tr.Escalate(bin, trace.EscGuardDisagree)
 			continue
 		}
 		if silent {
@@ -291,16 +306,19 @@ func (smp *Sampler) RunBatchCoarse(cfg HomeConfig, opts Options, copts CoarseOpt
 		rate := smp.sensor.Sensor.UpdateRate(w)
 		if rate <= 0 {
 			// The fit contradicts the certified verdict; trust neither.
-			esc = append(esc, bin)
+			esc = append(esc, escalation{int32(bin), trace.EscOccFitUnstable})
+			smp.tr.Escalate(bin, trace.EscOccFitUnstable)
 			continue
 		}
 		b.SensorRate[bin], b.NetHarvestedW[bin] = rate, w
 	}
 	smp.escBuf = esc[:0]
-	for _, bin := range esc {
+	for _, e := range esc {
+		bin := int(e.bin)
 		if !simulate(bin) {
 			return false
 		}
+		smp.tr.SetBin(bin)
 		link := core.PoWiFiLinkOccupancy(opts.SensorDistanceFt, b.Occupancy[bin])
 		b.SensorRate[bin], b.NetHarvestedW[bin] = smp.sensor.Evaluate(link)
 		cum := 0.0

@@ -13,6 +13,7 @@ import (
 	"repro/internal/phy"
 	"repro/internal/router"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
@@ -71,12 +72,24 @@ type Sampler struct {
 	// bin, so the per-bin reset touches only stations with state.
 	lastActiveBg [3]int
 
+	// tr is the current home's flight recorder when the owning run
+	// traces (nil otherwise — a nil-receiver no-op like tele). Set via
+	// TraceHome per home attempt; detached on pool release.
+	tr *trace.HomeTrace
+
 	// plan holds the pooled struct-of-arrays bin plan (hours and offered
 	// loads) the current home's bins are driven from; see planBins.
 	plan binPlan
 
 	// escBuf is the pooled escalation work list of the coarse tier.
-	escBuf []int
+	escBuf []escalation
+}
+
+// escalation is one coarse-tier bin pushed back to the exact path,
+// tagged with the machine-readable reason the guard demoted it.
+type escalation struct {
+	bin    int32
+	reason trace.EscReason
 }
 
 // binPlan is the struct-of-arrays form of one home's per-bin drive: the
@@ -167,6 +180,15 @@ func NewSampler() *Sampler {
 func (smp *Sampler) Instrument(bins *telemetry.SamplerCounters, surf *telemetry.SurfaceCounters) {
 	smp.tele = bins
 	smp.sensor.Tele = surf
+}
+
+// TraceHome attaches (or, with nil, detaches) one home attempt's flight
+// recorder to the pooled context and its sensor chain. Like Instrument,
+// tracing is strictly out of band: no randomness, no event-order
+// changes, and a nil recorder costs one predictable branch per site.
+func (smp *Sampler) TraceHome(ht *trace.HomeTrace) {
+	smp.tr = ht
+	smp.sensor.Trace = ht
 }
 
 // armClient schedules the next Poisson client-frame arrival, exactly as

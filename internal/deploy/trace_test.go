@@ -1,0 +1,90 @@
+package deploy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestTraceDisabledAddsNoAllocs pins the disabled-tracing cost in the
+// sampler hot loop at exactly zero: with a nil HomeTrace attached, the
+// batched kernel's steady-state allocation count is identical to the
+// untraced baseline — the instrumentation is one nil check per bin.
+func TestTraceDisabledAddsNoAllocs(t *testing.T) {
+	cfg := PaperHomes()[2]
+	opts := Options{BinWidth: time.Hour, Window: 2 * time.Millisecond, Hours: 2, SensorDistanceFt: 10}
+	var b BinBatch
+
+	smp := NewSampler()
+	smp.RunBatch(cfg, opts, &b, nil) // warm pools
+	base := testing.AllocsPerRun(20, func() { smp.RunBatch(cfg, opts, &b, nil) })
+
+	smp.TraceHome(nil)
+	traced := testing.AllocsPerRun(20, func() { smp.RunBatch(cfg, opts, &b, nil) })
+	if traced != base {
+		t.Errorf("RunBatch allocs with nil trace = %v, untraced baseline = %v; want identical", traced, base)
+	}
+}
+
+// TestTraceOutOfBandAndEvents checks the sampler-level determinism
+// contract — a live flight recorder changes no output bit — and that
+// the recorder sees the expected event stream: one bin-sim event per
+// simulated bin on the exact tier; fits, guard queries and escalation
+// accounting on the coarse tier.
+func TestTraceOutOfBandAndEvents(t *testing.T) {
+	cfg := PaperHomes()[1]
+	opts := Options{BinWidth: 30 * time.Minute, Window: 3 * time.Millisecond, Hours: 6, SensorDistanceFt: 10}
+	nBins := opts.NumBins()
+
+	var ref, got BinBatch
+	NewSampler().RunBatch(cfg, opts, &ref, nil)
+
+	rec := trace.NewRecorder()
+	ht := rec.NewWorker().StartHome(0, "fleet/home/0", 1)
+	smp := NewSampler()
+	smp.TraceHome(ht)
+	smp.RunBatch(cfg, opts, &got, nil)
+	for i := 0; i < nBins; i++ {
+		if got.Sample(i) != ref.Sample(i) {
+			t.Fatalf("bin %d: traced RunBatch diverged from untraced", i)
+		}
+	}
+	if ht.Events() != uint64(nBins) {
+		t.Fatalf("exact tier recorded %d events, want %d bin-sim events", ht.Events(), nBins)
+	}
+	for i, e := range ht.Dump().Events {
+		if e.Kind != "bin-sim" || e.Bin != i || e.Arg <= 0 {
+			t.Fatalf("event %d = %+v, want bin-sim for bin %d with positive kernel-event count", i, e, i)
+		}
+	}
+
+	// Coarse tier: same out-of-band contract, richer event stream.
+	var cref, cgot BinBatch
+	NewSampler().RunBatchCoarse(cfg, opts, CoarseOptions{}, &cref, nil)
+	ht2 := rec.NewWorker().StartHome(1, "fleet/home/1", 1)
+	smp2 := NewSampler()
+	smp2.TraceHome(ht2)
+	smp2.RunBatchCoarse(cfg, opts, CoarseOptions{}, &cgot, nil)
+	for i := 0; i < nBins; i++ {
+		if cgot.Sample(i) != cref.Sample(i) {
+			t.Fatalf("bin %d: traced RunBatchCoarse diverged from untraced", i)
+		}
+	}
+	kinds := map[string]int{}
+	for _, e := range ht2.Dump().Events {
+		kinds[e.Kind]++
+	}
+	if kinds["occ-fit"] != 3 {
+		t.Errorf("coarse tier recorded %d occ-fit events, want 3 (one per channel)", kinds["occ-fit"])
+	}
+	if kinds["harvest-fit"] != 1 {
+		t.Errorf("coarse tier recorded %d harvest-fit events, want 1", kinds["harvest-fit"])
+	}
+	if kinds["bin-sim"] == 0 {
+		t.Error("coarse tier recorded no bin-sim events; anchors should simulate")
+	}
+	if uint64(kinds["escalate"]) != uint64(ht2.Escalations()) {
+		t.Errorf("escalate events = %d, Escalations() = %d", kinds["escalate"], ht2.Escalations())
+	}
+}

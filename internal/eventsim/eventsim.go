@@ -255,6 +255,11 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // ones awaiting lazy deletion).
 func (s *Scheduler) Pending() int { return len(s.events) }
 
+// Scheduled returns the number of events scheduled since the last
+// Reset. Callers that Reset per simulation window read it as the
+// window's kernel event count.
+func (s *Scheduler) Scheduled() uint64 { return s.seq }
+
 // Reset drains all queued events into the free list and rewinds the
 // clock and sequence counter to zero, making the scheduler ready for a
 // fresh run without releasing any of its memory. Outstanding Handles are

@@ -1,6 +1,10 @@
 package fleet
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // FailurePolicy decides what the run does when a home's simulation
 // panics. The zero value is fail-fast: the first failed home aborts the
@@ -48,6 +52,12 @@ type HomeError struct {
 	Msg string `json:"msg"`
 	// Stack is the panicking attempt's stack trace (last attempt).
 	Stack string `json:"-"`
+	// Trace is the last attempt's flight-recorder dump when the run
+	// traced (Hooks.Trace): the home's final structured events, for
+	// forensics on what led up to the failure. Its contents derive only
+	// from the simulation and the armed faults, so it serializes and
+	// compares deterministically like the rest of the error.
+	Trace *trace.Dump `json:"trace,omitempty"`
 }
 
 func (e *HomeError) Error() string {

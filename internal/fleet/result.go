@@ -10,6 +10,7 @@ import (
 	"repro/internal/lifecycle"
 	"repro/internal/phy"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Sketch resolutions. Per-home occupancy means and pooled per-bin
@@ -56,6 +57,9 @@ type homeStats struct {
 	// deterministic, workers-invariant point of the reduce order) but
 	// the reducer routes it to the failure policy instead of addHome.
 	fail *HomeError
+	// tr is the home's flight recorder when the run traces; it rides
+	// the reorder buffer so trace commits happen in home-index order.
+	tr *trace.HomeTrace
 }
 
 // partial holds the worker-side pooled aggregates that do not ride

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/lifecycle"
 	"repro/internal/surface"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -76,6 +78,15 @@ type Hooks struct {
 	// certification; production runs leave it nil (one branch, zero
 	// overhead).
 	Faults *faultinject.Set
+	// Trace, if non-nil, records the run's span tree and per-home
+	// flight recorders (internal/trace). Tracing follows Telemetry's
+	// out-of-band contract exactly: no RNG draws, no event-order
+	// changes, Result byte-identical with or without it, and the
+	// summary's deterministic section (event counts, retained rings,
+	// escalation reasons) bit-for-bit identical at any worker count
+	// because homes commit through the same reorder buffer as every
+	// other per-home aggregate.
+	Trace *trace.Recorder
 }
 
 // worker is one shard's pooled per-worker state: the sampling context,
@@ -91,13 +102,22 @@ type worker struct {
 	p        *partial
 	probe    *telemetry.Probe
 	fi       *faultinject.Set
+	tr       *trace.Worker
 	devs     [lifecycle.NumKinds]*lifecycle.Device
 	// batch is the worker's reusable struct-of-arrays bin buffer; the
 	// batched kernel refills it per home without reallocating.
 	batch deploy.BinBatch
+	// curHT is the in-flight attempt's flight recorder, stashed on the
+	// worker so runHome can reach it across attemptHome's panic/recover
+	// boundary. lastKernelNS/lastStallNS are the last attempt's kernel
+	// and injected-stall wall times, measured whenever telemetry or
+	// tracing observes the run (zero otherwise).
+	curHT        *trace.HomeTrace
+	lastKernelNS int64
+	lastStallNS  int64
 }
 
-func newWorker(cfg Config, p *partial, probe *telemetry.Probe, fi *faultinject.Set) *worker {
+func newWorker(cfg Config, p *partial, probe *telemetry.Probe, fi *faultinject.Set, rec *trace.Recorder) *worker {
 	w := &worker{
 		cfg:      cfg,
 		smp:      acquireSampler(probe),
@@ -105,11 +125,13 @@ func newWorker(cfg Config, p *partial, probe *telemetry.Probe, fi *faultinject.S
 		p:        p,
 		probe:    probe,
 		fi:       fi,
+		tr:       rec.NewWorker(),
 	}
 	// Attach (or, with telemetry off, explicitly detach) the counters on
 	// every acquisition, so a pooled sampler can never count into a
 	// previous run's metrics.
 	w.smp.Instrument(probe.Sampler(), probe.Surface())
+	w.smp.TraceHome(nil)
 	return w
 }
 
@@ -121,12 +143,14 @@ func newWorker(cfg Config, p *partial, probe *telemetry.Probe, fi *faultinject.S
 // first-attempt success would have produced.
 func (w *worker) refresh() {
 	w.smp.Instrument(nil, nil)
+	w.smp.TraceHome(nil)
 	w.smp = deploy.NewSampler()
 	w.smp.Instrument(w.probe.Sampler(), w.probe.Surface())
 }
 
 func (w *worker) release() {
 	w.smp.Instrument(nil, nil)
+	w.smp.TraceHome(nil)
 	samplerPool.Put(w.smp)
 	// Fold this worker's sketch shard into the run exactly; the error is
 	// impossible because every shard shares NewProbe's configuration.
@@ -184,6 +208,12 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 		return nil, err
 	}
 	t := h.Telemetry
+	// span opens the named phase in both observers (telemetry and the
+	// trace recorder share phase names); either may be nil.
+	span := func(name string) func() {
+		endT, endR := t.Span(name), h.Trace.Span(name)
+		return func() { endT(); endR() }
+	}
 
 	// Degradation deadline: a child context bounds the run's wall
 	// clock. outer stays distinct so caller cancellation (an error)
@@ -240,7 +270,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	if t != nil {
 		runtime.ReadMemStats(&memStart)
 		if !cfg.Exact && surface.Enabled() {
-			endWarm := t.Span(telemetry.SpanSurfaceWarmup)
+			endWarm := span(telemetry.SpanSurfaceWarmup)
 			surface.For(harvester.NewBatteryFree())
 			if cfg.Population.Lifecycle() {
 				surface.For(harvester.NewBatteryCharging())
@@ -303,12 +333,23 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 			// it contributes to no aggregate and the Home hook never
 			// sees it. The structured error lands in Result.Errors (and
 			// in the checkpoint, so a resumed report is identical).
+			// The quarantine decision is recorded here, at the
+			// reducer's deterministic commit point, before the home's
+			// flight recorder folds into the trace.
+			hs.tr.Quarantine()
+			if hs.tr != nil {
+				// Re-snapshot the dump so the error's forensics include
+				// the quarantine decision itself.
+				hs.fail.Trace = hs.tr.Dump()
+			}
+			h.Trace.CommitHome(hs.tr, true)
 			res.Errors = append(res.Errors, *hs.fail)
 			failC.Quarantined()
 			if cfg.MaxFailedHomes > 0 && len(res.Errors) > cfg.MaxFailedHomes {
 				return false, &partialStop{reason: PartialFailureBudget, committed: hs.idx + 1}
 			}
 		} else {
+			h.Trace.CommitHome(hs.tr, false)
 			res.addHome(hs)
 			homesC.Inc()
 			if h.Home != nil && !h.Home(hs.record()) {
@@ -344,7 +385,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 				return nil, err
 			}
 		}
-		endReduce := t.Span(telemetry.SpanReduce)
+		endReduce := span(telemetry.SpanReduce)
 		for _, p := range parts {
 			res.mergePartial(p)
 		}
@@ -361,8 +402,8 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	// construction.
 	if cfg.Workers == 1 {
 		p := newPartial(cfg)
-		endSim := t.Span(telemetry.SpanSimulate)
-		w := newWorker(cfg, p, t.NewProbe(), h.Faults)
+		endSim := span(telemetry.SpanSimulate)
+		w := newWorker(cfg, p, t.NewProbe(), h.Faults, h.Trace)
 		for i := start; i < cfg.Homes; i++ {
 			hs, ok := w.runHome(ctx, i)
 			if !ok {
@@ -390,7 +431,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 		}
 		w.release()
 		endSim()
-		endReduce := t.Span(telemetry.SpanReduce)
+		endReduce := span(telemetry.SpanReduce)
 		res.mergePartial(p)
 		endReduce()
 		finish(cfg.Homes - start)
@@ -408,7 +449,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	jobs := make(chan int)
 	out := make(chan homeStats, cfg.Workers)
 	partials := make([]*partial, cfg.Workers)
-	endSim := t.Span(telemetry.SpanSimulate)
+	endSim := span(telemetry.SpanSimulate)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Workers; i++ {
 		p := newPartial(cfg)
@@ -420,7 +461,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 			// router, monitors and traffic sources are built once and reset
 			// per bin, so the steady-state hot path stops paying allocator
 			// and GC tax. Pooling is output-invisible (see deploy.Sampler).
-			w := newWorker(cfg, p, t.NewProbe(), h.Faults)
+			w := newWorker(cfg, p, t.NewProbe(), h.Faults, h.Trace)
 			defer w.release()
 			for idx := range jobs {
 				hs, ok := w.runHome(ctx, idx)
@@ -498,7 +539,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	// Pooled per-bin lifecycle aggregates merge exactly regardless of
 	// how homes were grouped onto workers; worker order is fixed only
 	// for clarity.
-	endReduce := t.Span(telemetry.SpanReduce)
+	endReduce := span(telemetry.SpanReduce)
 	for _, p := range partials {
 		res.mergePartial(p)
 	}
@@ -518,17 +559,55 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 // deterministic, workers-invariant point. ok == false only means
 // context cancellation.
 func (w *worker) runHome(ctx context.Context, idx int) (homeStats, bool) {
+	timed := w.probe != nil || w.tr != nil
 	for attempt := 1; ; attempt++ {
-		hs, ok, ferr := w.attemptHome(ctx, idx)
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
+		hs, ok, ferr := w.attemptHome(ctx, idx, attempt)
+		ht := w.curHT
+		w.curHT = nil
 		if ferr == nil {
-			return hs, ok
+			if !ok {
+				return hs, false
+			}
+			hs.tr = ht
+			w.tr.EndHome(ht)
+			if timed {
+				wallNS := time.Since(t0).Nanoseconds()
+				w.probe.ObserveHomeWall(idx, "fleet/home/"+strconv.Itoa(idx),
+					float64(wallNS)/1e6, dominantSpan(wallNS, w.lastKernelNS, w.lastStallNS))
+			}
+			return hs, true
 		}
 		ferr.Attempts = attempt
 		if attempt > w.cfg.Policy.Retry {
-			return homeStats{idx: idx, fail: ferr}, true
+			// Exhausted: the last attempt's flight recorder is the
+			// home's forensic payload, on both the structured error and
+			// the trace commit.
+			w.tr.EndHome(ht)
+			ferr.Trace = ht.Dump()
+			return homeStats{idx: idx, fail: ferr, tr: ht}, true
 		}
 		w.probe.Failure().Retry()
+		w.tr.EndHome(ht)
 		w.refresh()
+	}
+}
+
+// dominantSpan names where a home's wall time went: the injected stall,
+// the event kernel ("bin-batch"), or the residual (synthesis, ledger,
+// folds).
+func dominantSpan(wallNS, kernelNS, stallNS int64) string {
+	other := wallNS - kernelNS - stallNS
+	switch {
+	case stallNS >= kernelNS && stallNS >= other:
+		return "stall"
+	case kernelNS >= other:
+		return "bin-batch"
+	default:
+		return "other"
 	}
 }
 
@@ -543,7 +622,7 @@ func (w *worker) runHome(ctx context.Context, idx int) (homeStats, bool) {
 // attemptHome reports ok == false (its fold is discarded along with
 // the whole run). A panic anywhere in the attempt is recovered into
 // ferr; the partially built hs is discarded by the caller.
-func (w *worker) attemptHome(ctx context.Context, idx int) (hs homeStats, ok bool, ferr *HomeError) {
+func (w *worker) attemptHome(ctx context.Context, idx, attempt int) (hs homeStats, ok bool, ferr *HomeError) {
 	defer func() {
 		if r := recover(); r != nil {
 			ferr = &HomeError{
@@ -554,12 +633,28 @@ func (w *worker) attemptHome(ctx context.Context, idx int) (hs homeStats, ok boo
 			}
 		}
 	}()
+	w.lastKernelNS, w.lastStallNS = 0, 0
+	var ht *trace.HomeTrace
+	if w.tr.Enabled() {
+		ht = w.tr.StartHome(idx, "fleet/home/"+strconv.Itoa(idx), attempt)
+		// Label the goroutine for the attempt so -cpuprofile samples
+		// become home-attributable in pprof.
+		pprof.SetGoroutineLabels(pprof.WithLabels(ctx,
+			pprof.Labels("phase", "simulate", "home", strconv.Itoa(idx))))
+	}
+	w.curHT = ht
+	w.smp.TraceHome(ht)
 	if f := w.fi.Hit(faultinject.HomeSlow, idx); f != nil {
 		w.probe.Failure().Fault()
+		ht.Fault(string(f.Site))
 		time.Sleep(f.Delay)
+		ns := f.Delay.Nanoseconds()
+		w.lastStallNS = ns
+		ht.Stall(ns)
 	}
 	if f := w.fi.Hit(faultinject.HomePanic, idx); f != nil {
 		w.probe.Failure().Fault()
+		ht.Fault(string(f.Site))
 		panic(faultinject.PanicValue{Site: f.Site, Key: idx})
 	}
 	cfg := w.cfg
@@ -567,6 +662,7 @@ func (w *worker) attemptHome(ctx context.Context, idx int) (hs homeStats, ok boo
 	var dev *lifecycle.Device
 	if cfg.Population.Lifecycle() {
 		dev = w.device(synthesizeDevice(w.synthRng, cfg, idx))
+		dev.Trace = ht
 		dev.Begin(h.SensorFt, cfg.BinWidth)
 	}
 	opts := deploy.Options{
@@ -578,16 +674,27 @@ func (w *worker) attemptHome(ctx context.Context, idx int) (hs homeStats, ok boo
 	}
 	b := &w.batch
 	gate := func(int) bool { return ctx.Err() == nil }
+	timed := w.probe != nil || ht != nil
+	var k0 time.Time
+	if timed {
+		k0 = time.Now()
+	}
 	var done bool
 	if cfg.Coarse {
 		done = w.smp.RunBatchCoarse(h.HomeConfig, opts, deploy.CoarseOptions{}, b, gate)
 	} else {
 		done = w.smp.RunBatch(h.HomeConfig, opts, b, gate)
 	}
+	if timed {
+		ns := time.Since(k0).Nanoseconds()
+		w.lastKernelNS = ns
+		ht.Kernel(ns)
+	}
 	if !done {
 		return homeStats{}, false, nil
 	}
 	nBins := b.Len()
+	ht.SetBins(nBins)
 	if nBins == 0 {
 		return homeStats{idx: idx, home: h}, true, nil
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/harvester"
 	"repro/internal/sensors"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Engine constants. The storage-capacitor sizing matches the §5.1
@@ -178,6 +179,10 @@ type Device struct {
 	// set before Begin (Begin propagates SurfTele onto the chains).
 	Tele     *telemetry.LifecycleCounters
 	SurfTele *telemetry.SurfaceCounters
+	// Trace, when set, records boot/brownout transitions (and, through
+	// the chains, surface anomalies) into the current home's flight
+	// recorder. Out of band like Tele; set before Begin.
+	Trace *trace.HomeTrace
 
 	// Archetype chains. temp is the §5.1 battery-free chain used only
 	// to size the storage windows; chain is the bq25570 front end the
@@ -285,6 +290,7 @@ func (d *Device) Begin(sensorFt float64, binWidth time.Duration) {
 	if d.chain != nil {
 		d.chain.Exact = d.Exact
 		d.chain.Tele = d.SurfTele
+		d.chain.Trace = d.Trace
 	}
 	if d.cam != nil {
 		d.cam.Exact = d.Exact
@@ -333,10 +339,12 @@ func (d *Device) VisitBin(s deploy.BinSample) {
 		if d.state == StateOperate {
 			d.state = StateBrownout
 			d.Tele.Brownout()
+			d.Trace.Brownout(s.Bin)
 		}
 	} else {
 		if d.state != StateOperate {
 			d.Tele.Boot()
+			d.Trace.Boot(s.Bin)
 		}
 		d.state = StateOperate
 	}

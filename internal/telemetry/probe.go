@@ -13,6 +13,9 @@ const (
 
 	shardHomesHi   = 1 << 16
 	shardHomesBins = 256
+
+	homeWallHiMS   = 60_000
+	homeWallMSBins = 1200
 )
 
 // SurfaceCounters counts operating-point surface queries by outcome:
@@ -209,6 +212,7 @@ type Probe struct {
 	homes   uint64
 	silent  *Counter
 	harvest *stats.Sketch
+	wall    *stats.Sketch
 }
 
 // NewProbe creates a worker probe. Nil on a nil Run.
@@ -220,6 +224,7 @@ func (t *Run) NewProbe() *Probe {
 		run:     t,
 		silent:  t.Counter(CounterSilentBins),
 		harvest: stats.NewSketch(0, harvestShardHiUW, harvestShardBins),
+		wall:    stats.NewSketch(0, homeWallHiMS, homeWallMSBins),
 	}
 }
 
@@ -267,11 +272,23 @@ func (p *Probe) ObserveHome(silentBins uint64, meanHarvestUW float64) {
 	p.harvest.Add(meanHarvestUW)
 }
 
+// ObserveHomeWall records one home's simulate wall time: the sample
+// lands in the worker's private wall-time sketch shard, and the home is
+// offered to the run's slowest-homes table. Both are scheduling
+// observations (wall clock varies with parallelism by nature).
+func (p *Probe) ObserveHomeWall(index int, label string, wallMS float64, dominant string) {
+	if p == nil {
+		return
+	}
+	p.wall.Add(wallMS)
+	p.run.ObserveSlowHome(SlowHome{Index: index, Label: label, WallMS: wallMS, DominantSpan: dominant})
+}
+
 // Close folds the probe's shard into the run: the harvest sketch
 // merges exactly into the work histogram, and the worker's home count
-// lands in the shard-occupancy diagnostic histogram. Safe to call on a
-// nil probe; the error is impossible when every shard came from
-// NewProbe (identical sketch configuration by construction).
+// and wall-time samples land in the scheduling-diagnostic histograms.
+// Safe to call on a nil probe; the error is impossible when every shard
+// came from NewProbe (identical sketch configuration by construction).
 func (p *Probe) Close() error {
 	if p == nil {
 		return nil
@@ -280,5 +297,10 @@ func (p *Probe) Close() error {
 		return err
 	}
 	p.run.Histogram(HistShardHomes, 0, shardHomesHi, shardHomesBins).Observe(float64(p.homes))
+	if p.wall.N() > 0 {
+		if err := p.run.mergeHistogram(HistHomeWallMS, p.wall); err != nil {
+			return err
+		}
+	}
 	return nil
 }

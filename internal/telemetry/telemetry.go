@@ -73,10 +73,12 @@ const (
 	GaugeAllocsPerBin = "allocs_per_bin"
 
 	// Histograms. HistHomeHarvestUW is a work histogram (per-worker
-	// sketch shards, exact merge); HistShardHomes is a scheduling
-	// diagnostic (homes per worker shard).
+	// sketch shards, exact merge); HistShardHomes and HistHomeWallMS
+	// are scheduling diagnostics (homes per worker shard; per-home wall
+	// time).
 	HistHomeHarvestUW = "home_harvest_uw"
 	HistShardHomes    = "shard_homes"
+	HistHomeWallMS    = "home_wall_ms"
 
 	// Phase spans, in the order a fleet run records them.
 	SpanSurfaceWarmup = "surface_warmup"
@@ -98,6 +100,7 @@ type Run struct {
 	hists    map[string]*Histogram
 	spans    []SpanSnapshot
 	manifest Manifest
+	slow     []SlowHome
 
 	surface   *SurfaceCounters
 	sampler   *SamplerCounters
@@ -210,6 +213,35 @@ func (t *Run) Span(name string) func() {
 	}
 }
 
+// ObserveSlowHome offers one finished home to the slowest-homes table,
+// keeping the top slowHomeCap by wall time (ties to the lower index).
+// A scheduling observation; no-op on a nil Run.
+func (t *Run) ObserveSlowHome(s SlowHome) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := sort.Search(len(t.slow), func(i int) bool {
+		if t.slow[i].WallMS != s.WallMS {
+			return s.WallMS > t.slow[i].WallMS
+		}
+		return s.Index < t.slow[i].Index
+	})
+	if i >= slowHomeCap {
+		return
+	}
+	t.slow = append(t.slow, SlowHome{})
+	copy(t.slow[i+1:], t.slow[i:])
+	t.slow[i] = s
+	if len(t.slow) > slowHomeCap {
+		t.slow = t.slow[:slowHomeCap]
+	}
+}
+
+// slowHomeCap bounds the slowest-homes table.
+const slowHomeCap = 8
+
 // SetManifest records the run manifest (the engine fills it when the
 // run completes). A zero GoVersion is stamped with the runtime's.
 func (t *Run) SetManifest(m Manifest) {
@@ -263,6 +295,21 @@ type Snapshot struct {
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	Spans      []SpanSnapshot               `json:"spans,omitempty"`
+	// SlowHomes lists the run's slowest homes by wall time — a
+	// scheduling observation like HistHomeWallMS: never compare it
+	// across worker counts.
+	SlowHomes []SlowHome `json:"slow_homes,omitempty"`
+}
+
+// SlowHome is one entry in the slowest-homes table.
+type SlowHome struct {
+	Index int    `json:"index"`
+	Label string `json:"label"`
+	// WallMS is the home's simulate wall time; DominantSpan names where
+	// it went ("bin-batch" for the event kernel, "stall" for injected
+	// stalls, "other" for the residual).
+	WallMS       float64 `json:"wall_ms"`
+	DominantSpan string  `json:"dominant_span"`
 }
 
 // HistogramSnapshot summarizes one histogram's merged sketch.
@@ -325,6 +372,9 @@ func (t *Run) Snapshot() Snapshot {
 	}
 	if len(t.spans) > 0 {
 		snap.Spans = append([]SpanSnapshot(nil), t.spans...)
+	}
+	if len(t.slow) > 0 {
+		snap.SlowHomes = append([]SlowHome(nil), t.slow...)
 	}
 	return snap
 }

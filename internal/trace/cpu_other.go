@@ -1,0 +1,7 @@
+//go:build !unix
+
+package trace
+
+// processCPUSeconds has no portable implementation off unix; span CPU
+// fields read zero there while wall times stay accurate.
+func processCPUSeconds() float64 { return 0 }

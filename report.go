@@ -43,6 +43,11 @@ type Report struct {
 	// only). Purely additive and out of band: the simulation sections
 	// are byte-identical with or without it.
 	Telemetry *TelemetrySnapshot `json:"telemetry,omitempty"`
+	// Trace holds the run's trace summary when the scenario carried
+	// WithTrace or WithTraceOutput (fleet mode only). Additive and out
+	// of band like Telemetry; everything outside its Sched section is
+	// bit-for-bit identical at any WithWorkers value.
+	Trace *TraceSummary `json:"trace,omitempty"`
 }
 
 // FleetSummary is the serialized fleet report; see fleet.Summary for

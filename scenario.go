@@ -17,6 +17,7 @@ import (
 	"repro/internal/lifecycle"
 	"repro/internal/phy"
 	"repro/internal/surface"
+	powifitrace "repro/internal/trace"
 )
 
 // Run modes a Scenario resolves to. The mode is never set directly:
@@ -64,6 +65,8 @@ type Scenario struct {
 	progress   func(done, total int)
 	telemetry  *Telemetry
 	metricsTo  io.Writer
+	trace      *Trace
+	traceTo    io.Writer
 	checkpoint string
 	policy     FailurePolicy
 	deadline   time.Duration
@@ -99,6 +102,8 @@ const (
 	optDeadline
 	optMaxFailed
 	optFaults
+	optTrace
+	optTraceOut
 )
 
 // Option configures a Scenario under construction.
@@ -393,6 +398,9 @@ func (s *Scenario) validate() error {
 		if s.set&(optTelemetry|optMetricsSink) != 0 {
 			return errors.New("powifi: WithTelemetry/WithMetricsSink apply only to fleet scenarios")
 		}
+		if s.set&(optTrace|optTraceOut) != 0 {
+			return errors.New("powifi: WithTrace/WithTraceOutput apply only to fleet scenarios")
+		}
 		if s.set&optCoarse != 0 {
 			return errors.New("powifi: WithCoarse applies only to fleet scenarios (the coarse tier proxies across a population's bins)")
 		}
@@ -516,13 +524,21 @@ func (s *Scenario) runFleet(ctx context.Context) (*Report, error) {
 		// A sink without an explicit collector still needs one to write.
 		t = NewTelemetry()
 	}
+	rec := s.trace
+	if rec == nil && s.set&optTraceOut != 0 {
+		// An output without an explicit recorder still needs one to write.
+		rec = NewTrace()
+	}
 	cfg := s.fleetConfig()
+	endRun := rec.Span(powifitrace.SpanRun)
 	res, err := fleet.RunWith(ctx, cfg, fleet.Hooks{
 		Progress:   s.progress,
 		Telemetry:  t,
+		Trace:      rec,
 		Checkpoint: s.fleetCheckpoint(),
 		Faults:     s.fleetFaults(cfg),
 	})
+	endRun()
 	if err != nil {
 		return nil, err
 	}
@@ -534,6 +550,15 @@ func (s *Scenario) runFleet(ctx context.Context) (*Report, error) {
 		if s.metricsTo != nil {
 			if err := t.WritePrometheus(s.metricsTo); err != nil {
 				return nil, fmt.Errorf("powifi: writing metrics sink: %w", err)
+			}
+		}
+	}
+	if rec != nil {
+		tsum := rec.Summary()
+		rep.Trace = &tsum
+		if s.traceTo != nil {
+			if err := rec.WriteChrome(s.traceTo); err != nil {
+				return nil, fmt.Errorf("powifi: writing trace output: %w", err)
 			}
 		}
 	}
