@@ -7,7 +7,7 @@
 //
 //	powifi-harvest -version battery-free -sweep power
 //	powifi-harvest -version battery-recharging -sweep distance -occupancy 0.913
-package main
+package main //powifi:sdkboundary-ok paper-era characterization CLI predating the powifi SDK; drives internal models directly
 
 import (
 	"flag"

@@ -6,7 +6,7 @@
 // Example:
 //
 //	powifi-router -scheme powifi -delay 100us -qdepth 5 -bg 0.25 -dist 10 -dur 5s
-package main
+package main //powifi:sdkboundary-ok paper-era exploration CLI predating the powifi SDK; drives internal models directly
 
 import (
 	"flag"

@@ -87,7 +87,11 @@
 // co-design facade (internal/core), the six-home deployment study
 // (internal/deploy), the stateful device-lifecycle engine
 // (internal/lifecycle), the fleet-scale sharded runner (internal/fleet),
-// and one runner per paper table/figure (internal/experiments).
+// and one runner per paper table/figure (internal/experiments). The
+// repository's determinism, RNG-discipline, hot-path-allocation and
+// SDK-boundary contracts are enforced at compile time by a stdlib-only
+// static-analysis suite (internal/lint) behind the cmd/powifi-lint vet
+// tool; see DESIGN.md "Static enforcement".
 //
 // Entry points:
 //

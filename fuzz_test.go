@@ -1,0 +1,50 @@
+package powifi
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzLoadScenario holds the scenario loader to its contract: arbitrary
+// bytes must never panic (malformed input is an error), and any
+// scenario it accepts must round-trip — marshal back to JSON that loads
+// to the same scenario.
+func FuzzLoadScenario(f *testing.F) {
+	f.Add([]byte(`{"schema":1}`))
+	f.Add([]byte(`{"schema":1,"homes":100,"seed":42,"bin":"1h","horizon":"24h","exact":true}`))
+	f.Add([]byte(`{"schema":1,"mode":"fleet","homes":8,"workers":2,"window":"2ms","failure_policy":{"mode":"skip"}}`))
+	f.Add([]byte(`{"schema":1,"experiment":"occupancy","full":true}`))
+	f.Add([]byte(`{"schema":2}`))
+	f.Add([]byte(`{"schema":1,"bogus":true}`))
+	f.Add([]byte(`{"schema":1,"bin":"not-a-duration"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := LoadScenario(data)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("error %v but non-nil scenario", err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatal("nil error and nil scenario")
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		again, err := LoadScenario(out)
+		if err != nil {
+			t.Fatalf("marshaled form %s does not reload: %v", out, err)
+		}
+		out2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("reloaded scenario does not marshal: %v", err)
+		}
+		if string(out) != string(out2) {
+			t.Fatalf("round-trip drift:\n first %s\nsecond %s", out, out2)
+		}
+	})
+}

@@ -53,6 +53,7 @@ type PowerLink struct {
 // array PowerLink carries, ignoring channels outside the PoWiFi set.
 func OccupancyFromMap(m map[phy.Channel]float64) [3]float64 {
 	var occ [3]float64
+	//powifi:mapiter-ok each channel key writes its own fixed slot; iteration order cannot matter
 	for chNum, v := range m {
 		if i := phy.PoWiFiChannelIndex(chNum); i >= 0 {
 			occ[i] = v

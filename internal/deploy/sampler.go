@@ -341,6 +341,8 @@ func (smp *Sampler) planBins(cfg HomeConfig, opts Options, nBins int) {
 // sequence (neighbor generators in channel/contender order, then the
 // client feed, then the router) reproduces the original fresh-build
 // scheduling order event for event.
+//
+//powifi:noalloc
 func (smp *Sampler) sampleBin(seed uint64, clientLoad float64, neighborLoad [3]float64, window time.Duration) [3]float64 {
 	smp.sched.Reset()
 	for i := range smp.channels {

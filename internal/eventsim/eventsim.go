@@ -219,6 +219,8 @@ func (s *Scheduler) schedule(t time.Duration, fn func(ctx any), ctx any) Handle 
 // the recycle path to two stores (the stale references pin at most a
 // free-list's worth of dead callbacks, which the pools above already
 // keep alive anyway).
+//
+//powifi:noalloc
 func (s *Scheduler) recycle(e *Event) {
 	e.gen++
 	e.next = s.free
@@ -239,11 +241,15 @@ func (s *Scheduler) After(d time.Duration, fn func()) Handle {
 // AtCtx schedules fn(ctx) at absolute virtual time t. Unlike At, it
 // allocates nothing when fn is a long-lived func value and ctx is a
 // pointer — the hot-path form for per-event callbacks.
+//
+//powifi:noalloc
 func (s *Scheduler) AtCtx(t time.Duration, fn func(ctx any), ctx any) Handle {
 	return s.schedule(t, fn, ctx)
 }
 
 // AfterCtx schedules fn(ctx) to run d after the current virtual time.
+//
+//powifi:noalloc
 func (s *Scheduler) AfterCtx(d time.Duration, fn func(ctx any), ctx any) Handle {
 	return s.schedule(s.now+d, fn, ctx)
 }
@@ -264,6 +270,8 @@ func (s *Scheduler) Scheduled() uint64 { return s.seq }
 // clock and sequence counter to zero, making the scheduler ready for a
 // fresh run without releasing any of its memory. Outstanding Handles are
 // invalidated by the drain.
+//
+//powifi:noalloc
 func (s *Scheduler) Reset() {
 	for _, entry := range s.events {
 		s.recycle(s.pool[uint32(entry.seqid)])
@@ -275,6 +283,8 @@ func (s *Scheduler) Reset() {
 }
 
 // Run processes events until the queue empties or Stop is called.
+//
+//powifi:noalloc
 func (s *Scheduler) Run() {
 	s.stopped = false
 	for len(s.events) > 0 && !s.stopped {
@@ -286,6 +296,8 @@ func (s *Scheduler) Run() {
 // to exactly the deadline. Events scheduled beyond the deadline remain
 // queued, so RunUntil can be called repeatedly to run a simulation in
 // windows.
+//
+//powifi:noalloc
 func (s *Scheduler) RunUntil(deadline time.Duration) {
 	s.stopped = false
 	for len(s.events) > 0 && !s.stopped {
@@ -300,6 +312,8 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 }
 
 // step pops and executes the earliest event, then recycles it.
+//
+//powifi:noalloc
 func (s *Scheduler) step() {
 	entry := s.events.pop()
 	e := s.pool[uint32(entry.seqid)]

@@ -200,6 +200,8 @@ func finalize(h uint64) uint64 {
 // or nil. Each armed fault honors its per-key Times budget, so a
 // default-armed panic fires on a home's first attempt and lets the
 // retry through. Nil-safe: a disabled registry costs one branch.
+//
+//powifi:noalloc
 func (s *Set) Hit(site Site, key int) *Fault {
 	if s == nil {
 		return nil
@@ -226,6 +228,8 @@ func (s *Set) Hit(site Site, key int) *Fault {
 
 // Fires returns the total number of faults fired so far (0 on a nil
 // Set) — the chaos suites' assertion hook.
+//
+//powifi:noalloc
 func (s *Set) Fires() int {
 	if s == nil {
 		return 0

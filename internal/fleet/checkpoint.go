@@ -303,7 +303,16 @@ func tryLoadCheckpoint(path string, cfg Config) (next int, res *Result, err erro
 	if err != nil {
 		return 0, nil, err // includes os.IsNotExist for the caller
 	}
-	base := filepath.Base(path)
+	return decodeCheckpoint(data, filepath.Base(path), cfg)
+}
+
+// decodeCheckpoint validates and restores a checkpoint from its raw
+// bytes: envelope parse, schema gate, payload checksum, config hash,
+// prefix consistency, then a TryMerge-validated restore into a fresh
+// Result. It never panics on torn or hostile input — every malformed
+// shape is an error (the FuzzCheckpointDecode target holds it to that).
+// base names the source file in error messages.
+func decodeCheckpoint(data []byte, base string, cfg Config) (next int, res *Result, err error) {
 	var env checkpointEnvelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return 0, nil, fmt.Errorf("fleet: parsing checkpoint %s: %w", base, err)

@@ -265,7 +265,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 	// run will query are built up front under their own span — the build
 	// is deterministic and process-cached, so warming changes no output,
 	// but it keeps the one-time cost out of the simulate span.
-	runStart := time.Now()
+	runStart := time.Now() //powifi:walltime-ok telemetry manifest wall time, out of band of the simulation
 	var memStart runtime.MemStats
 	if t != nil {
 		runtime.ReadMemStats(&memStart)
@@ -288,7 +288,7 @@ func RunWith(ctx context.Context, cfg Config, h Hooks) (*Result, error) {
 		if t == nil {
 			return
 		}
-		elapsed := time.Since(runStart).Seconds()
+		elapsed := time.Since(runStart).Seconds() //powifi:walltime-ok throughput gauge only; never feeds an aggregate
 		hashCfg := cfg
 		hashCfg.Workers = 0 // invariant across parallelism by contract
 		m := telemetry.Manifest{
@@ -563,7 +563,7 @@ func (w *worker) runHome(ctx context.Context, idx int) (homeStats, bool) {
 	for attempt := 1; ; attempt++ {
 		var t0 time.Time
 		if timed {
-			t0 = time.Now()
+			t0 = time.Now() //powifi:walltime-ok per-home flight-recorder timing, out of band
 		}
 		hs, ok, ferr := w.attemptHome(ctx, idx, attempt)
 		ht := w.curHT
@@ -575,7 +575,7 @@ func (w *worker) runHome(ctx context.Context, idx int) (homeStats, bool) {
 			hs.tr = ht
 			w.tr.EndHome(ht)
 			if timed {
-				wallNS := time.Since(t0).Nanoseconds()
+				wallNS := time.Since(t0).Nanoseconds() //powifi:walltime-ok probe observation only; never feeds an aggregate
 				w.probe.ObserveHomeWall(idx, "fleet/home/"+strconv.Itoa(idx),
 					float64(wallNS)/1e6, dominantSpan(wallNS, w.lastKernelNS, w.lastStallNS))
 			}
@@ -647,7 +647,7 @@ func (w *worker) attemptHome(ctx context.Context, idx, attempt int) (hs homeStat
 	if f := w.fi.Hit(faultinject.HomeSlow, idx); f != nil {
 		w.probe.Failure().Fault()
 		ht.Fault(string(f.Site))
-		time.Sleep(f.Delay)
+		time.Sleep(f.Delay) //powifi:walltime-ok injected stall: the fault IS a wall-clock delay, recorded out of band
 		ns := f.Delay.Nanoseconds()
 		w.lastStallNS = ns
 		ht.Stall(ns)
@@ -677,7 +677,7 @@ func (w *worker) attemptHome(ctx context.Context, idx, attempt int) (hs homeStat
 	timed := w.probe != nil || ht != nil
 	var k0 time.Time
 	if timed {
-		k0 = time.Now()
+		k0 = time.Now() //powifi:walltime-ok kernel-span timing for the flight recorder, out of band
 	}
 	var done bool
 	if cfg.Coarse {
@@ -686,7 +686,7 @@ func (w *worker) attemptHome(ctx context.Context, idx, attempt int) (hs homeStat
 		done = w.smp.RunBatch(h.HomeConfig, opts, b, gate)
 	}
 	if timed {
-		ns := time.Since(k0).Nanoseconds()
+		ns := time.Since(k0).Nanoseconds() //powifi:walltime-ok probe/trace observation only; never feeds an aggregate
 		w.lastKernelNS = ns
 		ht.Kernel(ns)
 	}

@@ -247,6 +247,7 @@ func (m *Mix) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	var out Mix
+	//powifi:mapiter-ok each kind name writes its own Mix slot; iteration order cannot matter
 	for name, w := range obj {
 		k, err := ParseKind(name)
 		if err != nil {

@@ -1,0 +1,54 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestWalltime(t *testing.T) {
+	linttest.Run(t, "testdata", lint.WalltimeAnalyzer,
+		"wt/internal/eventsim",  // failing + escape-hatch cases
+		"wt/internal/telemetry", // non-deterministic package: silent
+	)
+}
+
+func TestRngsource(t *testing.T) {
+	linttest.Run(t, "testdata", lint.RngsourceAnalyzer,
+		"rng/internal/deploy", // banned imports + import-line hatch
+		"rng/internal/xrand",  // the exempted wrapper package: silent
+	)
+}
+
+func TestMapiter(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapiterAnalyzer,
+		"mi/internal/stats", // unsafe folds vs key-collect/drain/hatch
+	)
+}
+
+func TestNoalloc(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoallocAnalyzer,
+		"na/hot", // annotated bad/ok functions + unannotated control
+	)
+}
+
+func TestSDKBoundary(t *testing.T) {
+	linttest.Run(t, "testdata", lint.SDKBoundaryAnalyzer,
+		"sb/cmd/app",       // flagged import + import-line and whole-file hatches
+		"sb/examples/demo", // examples/ trees are consumers too
+		"sb/pkglib",        // non-consumer package: silent
+	)
+}
+
+func TestMergecheck(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MergecheckAnalyzer,
+		"mc/agg",
+	)
+}
+
+func TestDirective(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DirectiveAnalyzer,
+		"dir/d", // includes a _test.go fixture: directives are checked there too
+	)
+}

@@ -1,0 +1,167 @@
+// Package linttest is a miniature analysistest: it loads fixture
+// packages from a GOPATH-style tree (testdata/src/<importpath>), runs
+// analyzers over them, and matches reported diagnostics against
+// expectations written in the fixture source as trailing comments:
+//
+//	time.Now() // want "wall-clock reads"
+//
+// The quoted string is a regular expression matched against the
+// diagnostic message; every diagnostic must be matched by a want on its
+// line, and every want must be matched by a diagnostic. Multiple wants
+// on one line each need a matching diagnostic.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// sharedLoader caches type-checked fixture packages (and, more
+// importantly, the source-imported standard library) across every test
+// in the binary.
+var (
+	loaderMu sync.Mutex
+	loaders  = map[string]*load.Loader{}
+)
+
+func loaderFor(root string) *load.Loader {
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	l := loaders[root]
+	if l == nil {
+		l = &load.Loader{Root: root, IncludeTests: true}
+		loaders[root] = l
+	}
+	return l
+}
+
+// wantRe matches one expectation: want "regexp" (analysistest's
+// backquoted form is also accepted).
+var wantRe = regexp.MustCompile("want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package under dir (a testdata directory
+// containing src/) and checks the analyzer's diagnostics against the
+// // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	root := filepath.Join(testdata, "src")
+	l := loaderFor(root)
+	for _, path := range pkgPaths {
+		runOne(t, l, a, path)
+	}
+}
+
+func runOne(t *testing.T, l *load.Loader, a *analysis.Analyzer, path string) {
+	t.Helper()
+	pkg, err := l.Load(path)
+	if err != nil {
+		t.Fatalf("%s: loading fixture %q: %v", a.Name, path, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("%s: fixture %q has type errors: %v", a.Name, path, terr)
+	}
+
+	// Collect expectations from every fixture file's comments.
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					} else {
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: running on %q: %v", a.Name, path, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !matchWant(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, w.file, w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != pos.Filename || w.line != pos.Line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// MustClean runs the analyzer over the package and fails on any
+// diagnostic — for false-positive fixtures that must stay silent, and
+// for self-linting real packages in tests.
+func MustClean(t *testing.T, l *load.Loader, a *analysis.Analyzer, path string) {
+	t.Helper()
+	pkg, err := l.Load(path)
+	if err != nil {
+		t.Fatalf("%s: loading %q: %v", a.Name, path, err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			t.Errorf("%s: unexpected diagnostic at %s: %s", a.Name, fmt.Sprintf("%s:%d", pos.Filename, pos.Line), d.Message)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: running on %q: %v", a.Name, path, err)
+	}
+}

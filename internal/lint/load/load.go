@@ -1,0 +1,277 @@
+// Package load parses and type-checks Go packages for the powifi-lint
+// analyzers using nothing but the standard library. It exists because
+// the module's dependency set is pinned to the standard library, so
+// golang.org/x/tools/go/packages is unavailable; this loader covers the
+// two shapes the lint suite needs:
+//
+//   - the repo itself (the standalone `powifi-lint ./...` driver): the
+//     module's packages resolve to directories under the module root,
+//     and standard-library imports type-check from $GOROOT/src via the
+//     stdlib "source" importer;
+//   - linttest fixtures (internal/lint/testdata/src): a GOPATH-style
+//     tree where every non-stdlib import path maps to a directory under
+//     the tree root.
+//
+// The loader is deliberately simple: no vendoring, no cgo (the build
+// context is forced to CgoEnabled=false, which the repo satisfies —
+// the deterministic kernels are pure Go by contract), no build-tag
+// matrix beyond what go/build's default context selects.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path (for the module's own packages,
+	// the module-qualified path, e.g. "repro/internal/fleet").
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-checking errors. The analyzers run
+	// anyway when the AST is intact; the driver decides whether to
+	// surface them.
+	TypeErrors []error
+}
+
+// Loader resolves import paths to directories under Root and
+// type-checks them, falling back to the standard library's source
+// importer for everything it cannot find there.
+type Loader struct {
+	// Root is the directory the loader resolves non-stdlib import paths
+	// under.
+	Root string
+	// Module, when non-empty, is the import-path prefix that maps onto
+	// Root: "repro" means "repro/internal/fleet" loads from
+	// Root/internal/fleet. When empty, every import path is tried
+	// verbatim under Root (the fixture-tree shape).
+	Module string
+	// IncludeTests parses the package's in-package _test.go files too.
+	// External test packages (package foo_test) are out of scope: the
+	// analyzers skip test files by contract, so loading them would be
+	// dead weight.
+	IncludeTests bool
+
+	Fset *token.FileSet
+
+	once   sync.Once
+	stdlib types.Importer
+	pkgs   map[string]*Package
+	state  map[string]int // 0 unvisited, 1 in progress, 2 done
+}
+
+const (
+	stLoading = 1
+	stDone    = 2
+)
+
+func (l *Loader) init() {
+	l.once.Do(func() {
+		if l.Fset == nil {
+			l.Fset = token.NewFileSet()
+		}
+		// The repo is pure Go; disabling cgo keeps the source importer
+		// off the cgo preprocessing path for stdlib packages like net.
+		build.Default.CgoEnabled = false
+		l.stdlib = importer.ForCompiler(l.Fset, "source", nil)
+		l.pkgs = make(map[string]*Package)
+		l.state = make(map[string]int)
+	})
+}
+
+// dirFor maps an import path to its candidate directory under Root, or
+// "" when the path is outside the loader's tree.
+func (l *Loader) dirFor(path string) string {
+	rel := path
+	if l.Module != "" {
+		if path == l.Module {
+			rel = "."
+		} else if strings.HasPrefix(path, l.Module+"/") {
+			rel = path[len(l.Module)+1:]
+		} else {
+			return ""
+		}
+	}
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return ""
+	}
+	return dir
+}
+
+// Import implements types.Importer: local tree first, stdlib second.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	l.init()
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.dirFor(path); dir != "" {
+		p, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+// Load loads (or returns the cached) package at the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	l.init()
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("lint/load: package %q not found under %s", path, l.Root)
+	}
+	return l.load(path, dir)
+}
+
+// LoadDir loads the package in dir, deriving its import path from the
+// position of dir under Root.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	l.init()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, err := filepath.Abs(l.Root)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint/load: %s is outside the load root %s", dir, l.Root)
+	}
+	path := filepath.ToSlash(rel)
+	if path == "." {
+		path = ""
+	}
+	if l.Module != "" {
+		if path == "" {
+			path = l.Module
+		} else {
+			path = l.Module + "/" + path
+		}
+	}
+	return l.load(path, abs)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if l.state[path] == stDone {
+		return l.pkgs[path], nil
+	}
+	if l.state[path] == stLoading {
+		return nil, fmt.Errorf("lint/load: import cycle through %q", path)
+	}
+	l.state[path] = stLoading
+	defer func() {
+		if l.state[path] != stDone {
+			l.state[path] = 0 // allow a retry to produce the same error
+		}
+	}()
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint/load: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	if l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint/load: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint/load: no Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("lint/load: type-checking %q: %w", path, err)
+	}
+	pkg.Files = files
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.pkgs[path] = pkg
+	l.state[path] = stDone
+	return pkg, nil
+}
+
+// Walk enumerates the import paths of every package under root that
+// contains at least one non-test Go file, skipping testdata, vendored
+// trees, hidden directories and git metadata. Paths are returned in
+// lexical order, module-qualified when module is non-empty.
+func Walk(root, module string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		bp, err := build.ImportDir(p, 0)
+		if err != nil || len(bp.GoFiles) == 0 {
+			return nil // not a buildable package dir; keep walking
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		ip := filepath.ToSlash(rel)
+		switch {
+		case ip == ".":
+			ip = module
+		case module != "":
+			ip = module + "/" + ip
+		}
+		if ip != "" {
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

@@ -1,0 +1,14 @@
+// Package d is a directive-hygiene fixture.
+package d
+
+//powifi:walltime-okay misspelled name // want "unknown powifi directive"
+func a() {}
+
+/* want "requires a human-readable reason" */ //powifi:mapiter-ok
+func b()                                      {}
+
+//powifi:walltime-ok progress ticker is out of band
+func c() {}
+
+//powifi:noalloc
+func d() {}

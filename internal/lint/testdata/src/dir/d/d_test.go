@@ -1,0 +1,4 @@
+package d
+
+//powifi:bogus directives are validated in test files too // want "unknown powifi directive"
+func helper() {}

@@ -1,0 +1,43 @@
+// Package agg is a mergecheck fixture: TryMerge, checkpoint codec and
+// ckWriter calls whose error results must be handled.
+package agg
+
+type Sketch struct{ n int }
+
+func (s *Sketch) TryMerge(o *Sketch) error { s.n += o.n; return nil }
+
+func (s *Sketch) Close() error { return nil }
+
+type ckWriter struct{}
+
+func (w *ckWriter) write(b []byte) error { _ = b; return nil }
+
+func decodeCheckpoint(b []byte) (int, error) { return len(b), nil }
+
+func bad(a, b *Sketch, w *ckWriter, buf []byte) {
+	a.TryMerge(b)                // want "result ignored"
+	_ = a.TryMerge(b)            // want "error assigned to _"
+	go a.TryMerge(b)             // want "go statement"
+	defer a.TryMerge(b)          // want "defer statement"
+	w.write(buf)                 // want "ckWriter.write error discarded"
+	decodeCheckpoint(buf)        // want "decodeCheckpoint error discarded"
+	_, _ = decodeCheckpoint(buf) // want "error assigned to _"
+}
+
+func good(a, b *Sketch, w *ckWriter, buf []byte) error {
+	if err := a.TryMerge(b); err != nil {
+		return err
+	}
+	if err := w.write(buf); err != nil {
+		return err
+	}
+	n, err := decodeCheckpoint(buf)
+	if err != nil {
+		return err
+	}
+	_ = n
+	_ = a.Close() // Close is not a guarded callee
+	//powifi:mergecheck-ok merging into a scratch sketch that is immediately discarded
+	a.TryMerge(b)
+	return nil
+}

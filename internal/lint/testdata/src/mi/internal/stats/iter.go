@@ -1,0 +1,59 @@
+// Package stats is a mapiter fixture: ordering-sensitive map ranges in
+// a deterministic package versus the recognized safe shapes.
+package stats
+
+import "sort"
+
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "range over map in deterministic package"
+		s += v
+	}
+	return s
+}
+
+func SortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m { // safe: canonical key collection
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+func Drain(m map[int]int) {
+	for k := range m { // safe: delete-only drain
+		delete(m, k)
+	}
+}
+
+func Commutative(m map[int]uint64) uint64 {
+	var x uint64
+	//powifi:mapiter-ok xor fold is commutative, order cannot matter
+	for _, v := range m {
+		x ^= v
+	}
+	return x
+}
+
+type bag map[string]int
+
+func Named(b bag) int {
+	n := 0
+	for range b { // want "range over map in deterministic package"
+		n++
+	}
+	return n
+}
+
+func Slice(xs []int) int {
+	t := 0
+	for _, x := range xs { // slices range in index order: fine
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,65 @@
+// Package hot is a noalloc fixture: annotated functions reject
+// allocation-prone constructs, unannotated ones are left alone, and the
+// pooled idioms (append, defer, value composites) stay legal.
+package hot
+
+import "fmt"
+
+type rec struct{ a, b int }
+
+func sinkAny(v any)      { _ = v }
+func variadic(vs ...any) { _ = vs }
+func release()           {}
+func plain(x int) int    { return x + 1 }
+
+//powifi:noalloc
+func bad(s []int, r *rec) {
+	p := &rec{a: 1} // want "escaping composite literal"
+	_ = p
+	q := new(rec) // want `new\(T\)`
+	_ = q
+	buf := make([]byte, 8) // want `make\(\.\.\.\)`
+	_ = buf
+	fmt.Println(r) // want "fmt.Println call"
+	name := "a"
+	name += "b"        // want "string concatenation"
+	both := name + "c" // want "string concatenation"
+	_ = both
+	n := 0
+	inc := func() { n++ } // want "closure capturing variables"
+	inc()
+	go release() // want "go statement"
+	var iface any
+	iface = r  // pointers fit the interface word: fine
+	iface = *r // want "interface boxing of non-pointer value .assignment."
+	_ = iface
+	var boxed any = len(s) // want "interface boxing of non-pointer value .var declaration."
+	_ = boxed
+	sinkAny(42)        // want "interface boxing of non-pointer value .call argument."
+	variadic(s[0], r)  // want "interface boxing of non-pointer value .call argument."
+	bs := []byte(name) // want `string<->\[\]byte/\[\]rune conversion`
+	_ = bs
+}
+
+//powifi:noalloc
+func box(v int) any {
+	return v // want "interface boxing of non-pointer value .return."
+}
+
+//powifi:noalloc pooled sampler-style kernel: pinned by AllocsPerRun
+func okHot(dst []rec, spill []any) []rec {
+	r := rec{a: 1, b: 2}                     // value composite: stack-allocated
+	dst = append(dst, r)                     // append into pooled backing is the idiom
+	defer release()                          // open-coded defer does not allocate
+	flat := func(x int) int { return x * 2 } // captures nothing
+	_ = flat(r.a)
+	variadic(spill...) // slice passthrough: no per-arg boxing
+	sinkAny(&dst[0])   // pointer-shaped: no boxing
+	return dst
+}
+
+func unannotated() *rec {
+	s := fmt.Sprintf("%d", 1)
+	_ = s + s
+	return &rec{}
+}

@@ -1,0 +1,6 @@
+package deploy
+
+import (
+	//powifi:rngsource-ok baseline comparison against stdlib PRNG, documented in DESIGN.md
+	_ "math/rand"
+)

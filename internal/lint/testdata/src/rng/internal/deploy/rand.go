@@ -1,0 +1,15 @@
+// Package deploy is an rngsource fixture: a non-xrand package reaching
+// for the banned randomness sources.
+package deploy
+
+import (
+	crand "crypto/rand"   // want "import of crypto/rand outside internal/xrand"
+	"math/rand"           // want "import of math/rand outside internal/xrand"
+	randv2 "math/rand/v2" // want "import of math/rand/v2 outside internal/xrand"
+)
+
+func use() {
+	_ = rand.Int()
+	_, _ = crand.Read(nil)
+	_ = randv2.Int()
+}

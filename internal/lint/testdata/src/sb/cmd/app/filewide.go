@@ -1,0 +1,6 @@
+//powifi:sdkboundary-ok whole-file exemption: internal wiring demo
+package main
+
+import isec "sb/internal/secret"
+
+var sealed = isec.Token

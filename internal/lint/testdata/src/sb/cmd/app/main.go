@@ -1,0 +1,11 @@
+package main
+
+import (
+	"sb/internal/secret" // want "internal import"
+	"sb/pkglib"
+)
+
+func main() {
+	_ = secret.Open()
+	_ = pkglib.Public()
+}

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+
+	"sb/internal/secret"
+)
+
+// Test files may reach into internal for fixtures: no diagnostics here.
+func TestOpen(t *testing.T) {
+	if secret.Open() == "" {
+		t.Fatal("empty")
+	}
+}

@@ -1,0 +1,6 @@
+// Package demo is an examples/ tree consumer: same boundary as cmd/.
+package demo
+
+import "sb/internal/secret" // want "internal import"
+
+func Demo() string { return secret.Open() }

@@ -1,0 +1,6 @@
+// Package secret is the sdkboundary fixture's internal package.
+package secret
+
+const Token = "sealed"
+
+func Open() string { return Token }

@@ -1,0 +1,7 @@
+// Package pkglib is a non-consumer package: outside cmd/ and examples/
+// it may import the module's internal packages freely.
+package pkglib
+
+import "sb/internal/secret"
+
+func Public() string { return secret.Open() }

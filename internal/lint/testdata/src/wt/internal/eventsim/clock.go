@@ -1,0 +1,32 @@
+// Package eventsim is a walltime fixture: a deterministic package that
+// must not observe the wall clock.
+package eventsim
+
+import "time"
+
+func bad() {
+	_ = time.Now()                  // want "time.Now in deterministic package"
+	time.Sleep(time.Millisecond)    // want "time.Sleep in deterministic package"
+	_ = time.Since(time.Time{})     // want "time.Since in deterministic package"
+	t := time.NewTimer(time.Second) // want "time.NewTimer in deterministic package"
+	_ = t
+	select {
+	case <-time.After(time.Second): // want "time.After in deterministic package"
+	default:
+	}
+}
+
+func okDeterministicTime() {
+	d := 3 * time.Second // Duration arithmetic is pure
+	_ = d
+	_ = time.Unix(0, 0) // explicit instants are deterministic
+	_ = time.Date(2015, time.December, 1, 0, 0, 0, 0, time.UTC)
+	var zero time.Time
+	_ = zero.Add(d)
+}
+
+func hatch() {
+	//powifi:walltime-ok progress heartbeat is strictly out of band
+	_ = time.Now()
+	_ = time.Now() //powifi:walltime-ok trailing form: out-of-band heartbeat
+}

@@ -1,0 +1,8 @@
+package eventsim
+
+import . "time" // a dot import must not hide the banned functions
+
+func dotted() {
+	_ = Now() // want "time.Now in deterministic package"
+	_ = Unix(0, 0)
+}

@@ -1,0 +1,9 @@
+// Package telemetry is a walltime negative fixture: not a deterministic
+// package, so wall-clock reads are fine here.
+package telemetry
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Wait() { time.Sleep(time.Millisecond) }

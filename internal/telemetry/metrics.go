@@ -18,6 +18,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//powifi:noalloc
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -25,6 +27,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//powifi:noalloc
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -47,6 +51,8 @@ type Gauge struct {
 }
 
 // Set records the value.
+//
+//powifi:noalloc
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.bits.Store(math.Float64bits(v))
@@ -72,6 +78,8 @@ type Histogram struct {
 }
 
 // Observe records one sample. No-op on a nil histogram.
+//
+//powifi:noalloc
 func (h *Histogram) Observe(x float64) {
 	if h == nil {
 		return

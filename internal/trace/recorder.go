@@ -163,6 +163,8 @@ func (w *Worker) StartHome(idx int, label string, attempt int) *HomeTrace {
 // EndHome closes a home's span: it stamps the duration and appends the
 // home span (plus stall and bin-batch child spans when present) to the
 // raw stream. Safe on nil Worker or nil HomeTrace.
+//
+//powifi:noalloc
 func (w *Worker) EndHome(ht *HomeTrace) {
 	if w == nil || ht == nil {
 		return
@@ -189,6 +191,8 @@ func (w *Worker) EndHome(ht *HomeTrace) {
 // bit-for-bit identical at any worker count. failed marks a home whose
 // attempts were exhausted; its ring is always retained. Safe on nil
 // Recorder or nil HomeTrace.
+//
+//powifi:noalloc
 func (r *Recorder) CommitHome(ht *HomeTrace, failed bool) {
 	if r == nil || ht == nil {
 		return

@@ -243,6 +243,8 @@ func (h *HomeTrace) Label() string {
 
 // push appends an event, overwriting the oldest entry once the ring is
 // full.
+//
+//powifi:noalloc
 func (h *HomeTrace) push(e Event) {
 	h.total++
 	if len(h.ring) < h.ringCap {
@@ -266,6 +268,8 @@ func (h *HomeTrace) SetBins(n int) {
 
 // SetBin moves the instrumentation cursor: subsequent cursor-scoped
 // events (surface fallbacks) attribute to this bin.
+//
+//powifi:noalloc
 func (h *HomeTrace) SetBin(bin int) {
 	if h != nil {
 		h.bin = int32(bin)
@@ -274,6 +278,8 @@ func (h *HomeTrace) SetBin(bin int) {
 
 // BinSimulated records that bin ran the packet-level event simulation,
 // scheduling events kernel events, and moves the cursor to it.
+//
+//powifi:noalloc
 func (h *HomeTrace) BinSimulated(bin int, events uint64) {
 	if h == nil {
 		return
@@ -283,6 +289,8 @@ func (h *HomeTrace) BinSimulated(bin int, events uint64) {
 }
 
 // SurfaceExact records an exact-solver fallback at the cursor bin.
+//
+//powifi:noalloc
 func (h *HomeTrace) SurfaceExact() {
 	if h != nil {
 		h.push(Event{Kind: EvSurfaceExact, Bin: h.bin})
@@ -290,6 +298,8 @@ func (h *HomeTrace) SurfaceExact() {
 }
 
 // SurfaceGuard records a guard-band fallback at the cursor bin.
+//
+//powifi:noalloc
 func (h *HomeTrace) SurfaceGuard() {
 	if h != nil {
 		h.push(Event{Kind: EvSurfaceGuard, Bin: h.bin})
@@ -312,6 +322,8 @@ func (h *HomeTrace) HarvestFit(slope float64) {
 
 // GuardQuery records a coarse guard-band query on bin and whether the
 // proxied verdict proved stable.
+//
+//powifi:noalloc
 func (h *HomeTrace) GuardQuery(bin int, stable bool) {
 	if h == nil {
 		return
@@ -325,6 +337,8 @@ func (h *HomeTrace) GuardQuery(bin int, stable bool) {
 
 // Escalate records a proxied bin escalating to the event simulation
 // with its machine-readable reason.
+//
+//powifi:noalloc
 func (h *HomeTrace) Escalate(bin int, reason EscReason) {
 	if h == nil {
 		return
@@ -374,6 +388,8 @@ func (h *HomeTrace) Quarantine() {
 
 // Kernel records the attempt's batched-kernel wall time (scheduling
 // stream only).
+//
+//powifi:noalloc
 func (h *HomeTrace) Kernel(ns int64) {
 	if h != nil {
 		h.kernelNS = ns
@@ -382,6 +398,8 @@ func (h *HomeTrace) Kernel(ns int64) {
 
 // Stall records wall time the attempt spent stalled before the kernel
 // (an injected home.slow delay; scheduling stream only).
+//
+//powifi:noalloc
 func (h *HomeTrace) Stall(ns int64) {
 	if h != nil {
 		h.stallNS += ns
